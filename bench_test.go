@@ -1,0 +1,290 @@
+// Benchmarks regenerating every experiment table of the reproduction (one
+// per claim of Feng & Yin, PODC 2018; see DESIGN.md's experiment index and
+// EXPERIMENTS.md for recorded outputs), plus microbenchmarks of the
+// underlying substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/experiment"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/model"
+	"repro/internal/netdecomp"
+)
+
+// reportTable runs an experiment builder once per iteration and surfaces a
+// single headline metric.
+func reportTable(b *testing.B, build func() (*experiment.Table, error), metric string, pick func(*experiment.Table) float64) {
+	b.Helper()
+	var last *experiment.Table
+	for i := 0; i < b.N; i++ {
+		t, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if last != nil && pick != nil {
+		b.ReportMetric(pick(last), metric)
+	}
+}
+
+func parseCell(b *testing.B, t *experiment.Table, row, col int) float64 {
+	b.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		b.Fatalf("cell (%d,%d) out of range", row, col)
+	}
+	x, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", t.Rows[row][col], err)
+	}
+	return x
+}
+
+// BenchmarkE1InferenceToSampling regenerates E1 (Theorem 3.2): LOCAL rounds
+// of the inference-to-sampling reduction across sizes; the reported metric
+// is rounds/log³n at the largest size (bounded ⇔ polylog claim).
+func BenchmarkE1InferenceToSampling(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E1InferenceToSampling([]int{16, 32, 64}, 1.0, 0.1, 1)
+	}, "rounds/log3n", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 4)
+	})
+}
+
+// BenchmarkE2SamplingToInference regenerates E2 (Theorem 3.4): inference
+// reconstructed from sampling; metric is the worst marginal TV error.
+func BenchmarkE2SamplingToInference(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E2SamplingToInference(10, 1.0, 0.02, 2000, 2)
+	}, "worstTV", func(t *experiment.Table) float64 {
+		worst := 0.0
+		for i := range t.Rows {
+			if v := parseCell(b, t, i, 3); v > worst {
+				worst = v
+			}
+		}
+		return worst
+	})
+}
+
+// BenchmarkE3Boosting regenerates E3 (Lemma 4.1); metric is the measured
+// multiplicative error at the tightest ε.
+func BenchmarkE3Boosting(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E3Boosting(10, 1.0, []float64{0.5, 0.2, 0.1}, 3)
+	}, "multErr", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 2)
+	})
+}
+
+// BenchmarkE4LocalJVV regenerates E4 (Theorem 4.2); metric is the TV
+// distance between the JVV output distribution and brute-force truth.
+func BenchmarkE4LocalJVV(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E4LocalJVV([]int{6, 8}, 1.0, 1500, 4)
+	}, "TVvsExact", func(t *experiment.Table) float64 {
+		return parseCell(b, t, 0, 1)
+	})
+}
+
+// BenchmarkE5SSMInference regenerates E5 (Theorem 5.1 converse); metric is
+// the inference error at the largest radius.
+func BenchmarkE5SSMInference(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E5SSMInference(14, 1.0, []int{1, 2, 3, 4, 5})
+	}, "TVatR5", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 1)
+	})
+}
+
+// BenchmarkE6InferenceImpliesSSM regenerates E6 (Theorem 5.1 forward);
+// metric is the measured SSM at the largest distance.
+func BenchmarkE6InferenceImpliesSSM(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E6InferenceImpliesSSM(13, 1.0, 6)
+	}, "worstTV", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 1)
+	})
+}
+
+// BenchmarkE7TVvsMultiplicativeDecay regenerates E7 (Corollary 5.2); metric
+// is the multiplicative error at the largest distance.
+func BenchmarkE7TVvsMultiplicativeDecay(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E7TVvsMult(13, 1.0, 6)
+	}, "multAtMax", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 2)
+	})
+}
+
+// BenchmarkE8HardcorePhaseTransition regenerates E8 (the headline phase
+// transition); metric is the supercritical/subcritical correlation ratio at
+// the deepest tree — large ⇔ dichotomy.
+func BenchmarkE8HardcorePhaseTransition(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E8PhaseTransition(3, []float64{0.25, 4.0}, []int{4, 8, 12, 16})
+	}, "corrRatio", func(t *experiment.Table) float64 {
+		col := len(t.Columns) - 2
+		sub := parseCell(b, t, 0, col)
+		sup := parseCell(b, t, 1, col)
+		if sub == 0 {
+			return 1e9
+		}
+		return sup / sub
+	})
+}
+
+// BenchmarkE9Matchings regenerates E9 (the √Δ matching scaling); metric is
+// depth/√Δ at the largest Δ.
+func BenchmarkE9Matchings(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E9Matchings([]int{3, 5, 9, 17, 33}, 1.0, 1e-4, 0)
+	}, "depthPerSqrtΔ", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 4)
+	})
+}
+
+// BenchmarkE10ColoringsAndTwoSpin regenerates E10 (colorings + Ising +
+// hypergraph matchings); metric is the coloring depth at the largest q.
+func BenchmarkE10ColoringsAndTwoSpin(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		if _, err := experiment.E10Ising(4, []float64{0.3, 1.0, 3.0}, []int{4, 6}); err != nil {
+			return nil, err
+		}
+		if _, err := experiment.E10Hypergraph(3, 4, []float64{0.5, 1.5}, []int{2, 3}); err != nil {
+			return nil, err
+		}
+		return experiment.E10Colorings(4, []int{5, 8, 10}, 1e-3, 0)
+	}, "depthAtQmax", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 2)
+	})
+}
+
+// BenchmarkE11Counting regenerates E11 (chain-rule counting); metric is the
+// lnZ error at the largest size.
+func BenchmarkE11Counting(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E11Counting([]int{8, 12, 16}, 1.0, 1e-6)
+	}, "lnZerr", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 3)
+	})
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkSAWMarginal measures one Weitz SAW-tree marginal on a cycle at
+// logarithmic depth.
+func BenchmarkSAWMarginal(b *testing.B) {
+	g := graph.Cycle(256)
+	est, err := decay.NewHardcoreSAW(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pin := dist.NewConfig(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Marginal(pin, i%g.N(), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAWMarginalDegree4 measures the SAW recursion where branching
+// matters (4-regular torus, depth 8).
+func BenchmarkSAWMarginalDegree4(b *testing.B) {
+	g := graph.Torus(16, 16)
+	est, err := decay.NewHardcoreSAW(g, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pin := dist.NewConfig(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Marginal(pin, i%g.N(), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalJVVSample measures one full three-pass JVV run on a cycle
+// with the SAW oracle.
+func BenchmarkLocalJVVSample(b *testing.B) {
+	g := graph.Cycle(24)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := decay.NewHardcoreSAW(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := &core.DecayOracle{Est: est, Rate: 0.5, N: g.N()}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LocalJVV(in, o, core.JVVConfig{}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBallCarving measures one network decomposition of a 4-regular
+// torus.
+func BenchmarkBallCarving(b *testing.B) {
+	g := graph.Torus(16, 16)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netdecomp.BallCarving(g, netdecomp.Params{}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGather measures the goroutine-per-node flooding of radius-4
+// ball views on a torus.
+func BenchmarkGather(b *testing.B) {
+	net := local.NewNetwork(graph.Torus(12, 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.Gather(4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactPartition measures the brute-force referee (hardcore on a
+// 4x4 grid).
+func BenchmarkExactPartition(b *testing.B) {
+	g := graph.Grid(4, 4)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Partition(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command lbench runs the reproduction experiment suite (E1–E10 of
+// DESIGN.md) and prints one paper-shaped table per experiment, mirroring
+// the claims of Feng & Yin, PODC 2018.
+//
+// Usage:
+//
+//	lbench [-quick] [-seed N] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced workloads (smoke run)")
+	seed := fs.Int64("seed", 1, "random seed")
+	only := fs.String("only", "", "comma-separated experiment IDs to print (e.g. E4,E8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	tables, err := experiment.RunSuite(experiment.SuiteParams{Quick: *quick, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+			continue
+		}
+		fmt.Println(t.String())
+	}
+	return nil
+}

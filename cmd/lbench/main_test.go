@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunQuickFiltered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run")
+	}
+	// Restrict printing to two experiments; the whole suite still executes,
+	// so keep it quick.
+	if err := run([]string{"-quick", "-seed", "2", "-only", "E3,E5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Command lsample draws a sample from a Gibbs model on a generated graph
+// using the distributed samplers of the paper: the exact local-JVV sampler
+// (Theorem 4.2) or the approximate sequential sampler (Theorem 3.2).
+//
+// Usage:
+//
+//	lsample -model hardcore -graph cycle -n 24 -lambda 1.0 -sampler jvv
+//	lsample -model coloring -graph tree -n 40 -q 5
+//	lsample -model matching -graph grid -n 16 -lambda 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lsample:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	model   string
+	graph   string
+	n       int
+	lambda  float64
+	q       int
+	beta    float64
+	seed    int64
+	sampler string
+	delta   float64
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lsample", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.model, "model", "hardcore", "model: hardcore | ising | coloring | matching")
+	fs.StringVar(&o.graph, "graph", "cycle", "graph: cycle | path | grid | tree | torus")
+	fs.IntVar(&o.n, "n", 24, "graph size parameter (vertices, or side for grid/torus)")
+	fs.Float64Var(&o.lambda, "lambda", 1.0, "fugacity / activity")
+	fs.IntVar(&o.q, "q", 5, "colors (coloring model)")
+	fs.Float64Var(&o.beta, "beta", 0.6, "Ising edge activity")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.StringVar(&o.sampler, "sampler", "jvv", "sampler: jvv (exact) | seq (approximate)")
+	fs.Float64Var(&o.delta, "delta", 0.01, "TV error for the approximate sampler")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := buildGraph(o.graph, o.n)
+	if err != nil {
+		return err
+	}
+	in, oracle, render, err := buildModel(g, o)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d sampler=%s\n", o.model, o.graph, g.N(), g.MaxDegree(), o.sampler)
+
+	switch o.sampler {
+	case "jvv":
+		res, rounds, err := core.JVVLOCAL(in, oracle, core.JVVConfig{}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rounds=%d locality=%d accepted=%v failures=%d\n",
+			rounds, res.Locality, res.Accepted(), countTrue(res.Failed))
+		fmt.Fprintln(out, render(res.Config))
+	case "seq":
+		res, err := core.SampleLOCAL(in, oracle, o.delta, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rounds=%d locality=%d failures=%d (TV error ≤ %g conditioned on success)\n",
+			res.Rounds, res.SLOCALLocality, res.FailureCount(), o.delta)
+		fmt.Fprintln(out, render(res.Config))
+	default:
+		return fmt.Errorf("unknown sampler %q", o.sampler)
+	}
+	return nil
+}
+
+func buildGraph(kind string, n int) (*graph.Graph, error) {
+	switch strings.ToLower(kind) {
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "path":
+		return graph.Path(n), nil
+	case "grid":
+		return graph.Grid(n, n), nil
+	case "torus":
+		return graph.Torus(n, n), nil
+	case "tree":
+		// Complete binary tree with ~n vertices.
+		depth := 1
+		for (1<<(depth+2))-1 <= n {
+			depth++
+		}
+		return graph.CompleteTree(2, depth), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+// buildModel returns the instance, an inference oracle appropriate for the
+// model, and a renderer for sampled configurations.
+func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, func(dist.Config) string, error) {
+	switch strings.ToLower(o.model) {
+	case "hardcore":
+		spec, err := model.Hardcore(g, o.lambda)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in, err := gibbs.NewInstance(spec, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		est, err := decay.NewHardcoreSAW(g, o.lambda)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rate := model.HardcoreDecayRate(o.lambda, g.MaxDegree())
+		if rate >= 1 {
+			return nil, nil, nil, fmt.Errorf("λ=%g is not in the uniqueness regime for Δ=%d (λc=%g): no SSM oracle available — the paper's Ω(diam) lower bound applies", o.lambda, g.MaxDegree(), model.LambdaC(g.MaxDegree()))
+		}
+		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderBinary("occupied"), nil
+	case "ising":
+		p := model.TwoSpinParams{Beta: o.beta, Gamma: o.beta, Lambda: o.lambda}
+		spec, err := model.TwoSpin(g, p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in, err := gibbs.NewInstance(spec, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		est, err := decay.NewTwoSpinSAW(g, p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lo, hi := model.IsingUniquenessInterval(g.MaxDegree())
+		if o.beta <= lo || o.beta >= hi {
+			return nil, nil, nil, fmt.Errorf("b=%g outside the uniqueness interval (%g, %g) for Δ=%d", o.beta, lo, hi, g.MaxDegree())
+		}
+		// Conservative rate from the distance to the interval boundary.
+		rate := 0.9
+		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderBinary("spin-up"), nil
+	case "coloring":
+		spec, err := model.Coloring(g, o.q)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in, err := gibbs.NewInstance(spec, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		est, err := decay.NewColoringEstimator(g, o.q, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if float64(o.q) < model.AlphaStar()*float64(g.MaxDegree()) {
+			fmt.Fprintf(os.Stderr, "lsample: warning: q=%d below α*Δ=%.2f — the GKM guarantee does not apply\n", o.q, model.AlphaStar()*float64(g.MaxDegree()))
+		}
+		rate := 0.8
+		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderColors, nil
+	case "matching":
+		m, err := model.Matching(g, o.lambda)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in, err := gibbs.NewInstance(m.Spec, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		est := decay.NewMatchingEstimator(m)
+		rate := model.MatchingDecayRate(o.lambda, g.MaxDegree())
+		render := func(c dist.Config) string {
+			var b strings.Builder
+			b.WriteString("matched edges:")
+			for i, x := range c {
+				if x == model.In {
+					e := m.EdgeList[i]
+					fmt.Fprintf(&b, " (%d,%d)", e.U, e.V)
+				}
+			}
+			return b.String()
+		}
+		return in, &core.DecayOracle{Est: est, Rate: rate, N: m.Spec.N()}, render, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown model %q", o.model)
+	}
+}
+
+func renderBinary(label string) func(dist.Config) string {
+	return func(c dist.Config) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s vertices:", label)
+		for v, x := range c {
+			if x == model.In {
+				fmt.Fprintf(&b, " %d", v)
+			}
+		}
+		return b.String()
+	}
+}
+
+func renderColors(c dist.Config) string {
+	var b strings.Builder
+	b.WriteString("colors:")
+	for v, x := range c {
+		fmt.Fprintf(&b, " %d:%d", v, x)
+	}
+	return b.String()
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunModels(t *testing.T) {
+	cases := [][]string{
+		{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-lambda", "1", "-sampler", "jvv"},
+		{"-model", "hardcore", "-graph", "path", "-n", "10", "-sampler", "seq"},
+		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.8", "-sampler", "seq"},
+		{"-model", "coloring", "-graph", "cycle", "-n", "10", "-q", "5", "-sampler", "jvv"},
+		{"-model", "matching", "-graph", "cycle", "-n", "8", "-lambda", "1.5", "-sampler", "jvv"},
+		{"-model", "hardcore", "-graph", "tree", "-n", "15", "-lambda", "0.5", "-sampler", "seq"},
+		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-lambda", "0.4", "-sampler", "seq"},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, args := range cases {
+		if err := run(args, devnull); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	bad := [][]string{
+		{"-model", "nosuch"},
+		{"-graph", "nosuch"},
+		{"-sampler", "nosuch", "-n", "6"},
+		// Non-uniqueness hardcore must be refused (the lower-bound regime).
+		{"-model", "hardcore", "-graph", "grid", "-n", "4", "-lambda", "50"},
+		// Ising outside the uniqueness window.
+		{"-model", "ising", "-graph", "grid", "-n", "4", "-beta", "0.1"},
+	}
+	for _, args := range bad {
+		if err := run(args, devnull); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestBuildGraphKinds(t *testing.T) {
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "tree"} {
+		g, err := buildGraph(kind, 5)
+		if err != nil || g.N() == 0 {
+			t.Errorf("buildGraph(%q): %v", kind, err)
+		}
+	}
+	if _, err := buildGraph("bogus", 5); err == nil {
+		t.Error("bogus graph kind accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of Feng & Yin,
+// "On Local Distributed Sampling and Counting" (PODC 2018,
+// arXiv:1802.06686).
+//
+// The library lives under internal/: the LOCAL and SLOCAL model simulators,
+// network decompositions, Gibbs distributions and concrete models, the
+// correlation-decay inference oracles, and the paper's reductions (the
+// sampling/inference equivalence, the boosting lemma, the distributed JVV
+// exact sampler, and the strong-spatial-mixing characterization). The
+// runnable entry points are the commands under cmd/ and the examples under
+// examples/; the experiment suite that reproduces every claim of the paper
+// is internal/experiment, benchmarked from bench_test.go in this directory.
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md for the complete map.
+package repro

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRun keeps the example compiling and executing end to end.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example run")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Hardcorephase demonstrates the paper's headline result: the first
+// computational phase transition for distributed sampling, at the hardcore
+// uniqueness threshold λc(Δ) = (Δ−1)^(Δ−1)/(Δ−2)^Δ.
+//
+// It sweeps the fugacity λ across λc(3) = 4 on binary trees and prints (a)
+// the boundary-to-root correlation as a function of depth — exponential
+// decay below λc, persistence above — and (b) the locality an inference
+// algorithm needs for fixed accuracy, which jumps from O(log 1/ε) to the
+// full tree depth (the Ω(diam) regime of [FSY17]).
+//
+// Run with: go run ./examples/hardcorephase
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const delta = 3
+	fmt.Printf("hardcore model on the Δ=%d regular tree; λc(%d) = %g\n\n",
+		delta, delta, model.LambdaC(delta))
+
+	corr, err := experiment.E8PhaseTransition(delta,
+		[]float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0},
+		[]int{4, 8, 12, 16})
+	if err != nil {
+		return err
+	}
+	fmt.Println(corr.String())
+
+	radius, err := experiment.E8RequiredRadius(delta,
+		[]float64{0.25, 0.5, 1.5, 4.0}, 14, 0.02)
+	if err != nil {
+		return err
+	}
+	fmt.Println(radius.String())
+
+	fmt.Println("interpretation: below λc the required locality is flat in the")
+	fmt.Println("instance size (O(log³ n) exact sampling, Corollary 5.3); above λc")
+	fmt.Println("it reaches the tree depth — no o(diam)-round algorithm can sample,")
+	fmt.Println("matching the lower bound quoted in Section 5.")
+	return nil
+}

@@ -1,0 +1,88 @@
+// Matchings demonstrates the O(√Δ log³ n) exact matching sampler of
+// Section 5: monomer–dimer configurations are sampled exactly on a
+// bounded-degree graph through the line-graph duality, with inference
+// provided by the Bayati–Gamarnik–Katz–Nair–Tetali correlation-decay
+// recursion, and the √Δ scaling of the required locality is measured.
+//
+// Run with: go run ./examples/matchings
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/experiment"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Exact sampling of matchings on the 4x4 grid at activity λ = 1.5.
+	g := graph.Grid(4, 4)
+	const lambda = 1.5
+	m, err := model.Matching(g, lambda)
+	if err != nil {
+		return err
+	}
+	in, err := gibbs.NewInstance(m.Spec, nil)
+	if err != nil {
+		return err
+	}
+	oracle := &core.DecayOracle{
+		Est:  decay.NewMatchingEstimator(m),
+		Rate: model.MatchingDecayRate(lambda, g.MaxDegree()),
+		N:    m.Spec.N(),
+	}
+	rng := rand.New(rand.NewSource(7))
+	res, rounds, err := core.JVVLOCAL(in, oracle, core.JVVConfig{}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid 4x4, λ=%.1f: sampled matching in %d LOCAL rounds (accepted=%v):\n",
+		lambda, rounds, res.Accepted())
+	for i, x := range res.Config {
+		if x == model.In {
+			e := m.EdgeList[i]
+			fmt.Printf("  edge (%d,%d)\n", e.U, e.V)
+		}
+	}
+	if !m.IsMatching(res.Config) {
+		return fmt.Errorf("output is not a matching")
+	}
+
+	// Verify an edge marginal against brute force.
+	want, err := exact.Marginal(in, 0)
+	if err != nil {
+		return err
+	}
+	got, _, err := oracle.Marginal(in, 0, 1e-6)
+	if err != nil {
+		return err
+	}
+	tv, err := dist.TV(got, want)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nedge-0 marginal: BGKNT %.5f vs exact %.5f (TV %.2g)\n\n",
+		got[model.In], want[model.In], tv)
+
+	// The √Δ scaling behind O(√Δ log³ n).
+	tab, err := experiment.E9Matchings([]int{3, 5, 9, 17, 33, 65}, 1.0, 1e-4, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab.String())
+	return nil
+}

@@ -1,0 +1,117 @@
+// Quickstart: sample exactly from the hardcore model (weighted independent
+// sets) on a cycle using the distributed JVV sampler of Feng & Yin (PODC
+// 2018), and verify the result against brute-force enumeration.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A network: the 12-cycle. In the LOCAL model every vertex is a
+	//    processor and edges are communication links.
+	g := graph.Cycle(12)
+
+	// 2. A joint distribution: the hardcore model at fugacity λ = 1
+	//    (uniform over independent sets). Δ = 2, so we are far inside the
+	//    uniqueness regime λ < λc(Δ).
+	const lambda = 1.0
+	spec, err := model.Hardcore(g, lambda)
+	if err != nil {
+		return err
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		return err
+	}
+
+	// 3. An approximate-inference oracle: Weitz's self-avoiding-walk tree
+	//    recursion, which realizes LOCAL inference with radius O(log n)
+	//    thanks to strong spatial mixing (Theorem 5.1).
+	est, err := decay.NewHardcoreSAW(g, lambda)
+	if err != nil {
+		return err
+	}
+	oracle := &core.DecayOracle{
+		Est:  est,
+		Rate: model.HardcoreDecayRate(lambda, g.MaxDegree()),
+		N:    g.N(),
+	}
+
+	// 4. Exact sampling via the distributed JVV sampler (Theorem 4.2):
+	//    conditioned on no local failure, the output is distributed
+	//    *exactly* according to the model.
+	rng := rand.New(rand.NewSource(42))
+	// Failures are locally certified and rare (O(1/n)); retry on rejection.
+	var (
+		res    *core.JVVResult
+		rounds int
+	)
+	for attempt := 0; attempt < 10; attempt++ {
+		res, rounds, err = core.JVVLOCAL(in, oracle, core.JVVConfig{}, rng)
+		if err != nil {
+			return err
+		}
+		if res.Accepted() {
+			break
+		}
+	}
+	fmt.Printf("sampled independent set (LOCAL rounds: %d, accepted: %v):\n  %v\n",
+		rounds, res.Accepted(), occupied(res.Config))
+
+	// 5. Verify exactness statistically against brute-force enumeration.
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		return err
+	}
+	emp := dist.NewEmpirical(g.N())
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		r, err := core.LocalJVV(in, oracle, core.JVVConfig{}, rng)
+		if err != nil {
+			return err
+		}
+		if r.Accepted() {
+			emp.Observe(r.Config)
+		}
+	}
+	got, err := emp.Joint()
+	if err != nil {
+		return err
+	}
+	tv, err := dist.TVJoint(truth, got)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TV(empirical over %d accepted samples, exact) = %.4f (sampling noise ~%.3f)\n",
+		emp.Total(), tv, dist.ExpectedTVNoise(truth.Len(), emp.Total()))
+	return nil
+}
+
+func occupied(c dist.Config) []int {
+	var out []int
+	for v, x := range c {
+		if x == model.In {
+			out = append(out, v)
+		}
+	}
+	return out
+}

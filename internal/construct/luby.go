@@ -1,0 +1,199 @@
+// Package construct implements classic constructive LOCAL algorithms — the
+// "construction" task of the paper's introduction (exhibit *a* feasible
+// solution), against which distributed *sampling* is contrasted. Luby's
+// maximal-independent-set algorithm is the canonical example: it
+// constructs a feasible configuration of the hardcore model's support in
+// O(log n) rounds w.h.p., but its output distribution is nothing like the
+// hardcore measure — sampling genuinely requires the machinery of the
+// paper (the package tests demonstrate the bias).
+package construct
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// MISResult reports a maximal independent set construction.
+type MISResult struct {
+	// InSet[v] reports membership of v.
+	InSet []bool
+	// Rounds is the number of LOCAL rounds consumed.
+	Rounds int
+}
+
+// Set returns the members of the MIS in increasing order.
+func (r *MISResult) Set() []int {
+	var out []int
+	for v, in := range r.InSet {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ErrNotConverged indicates the round budget was exhausted (probability
+// vanishing in n for the default budget).
+var ErrNotConverged = errors.New("construct: Luby MIS did not converge")
+
+// lubyState is the per-node state of Luby's algorithm.
+type lubyState struct {
+	status int // 0 undecided, 1 in MIS, 2 out (dominated)
+	draw   float64
+	// liveNeighbors tracks the undecided neighbors.
+	liveNeighbors map[int]bool
+}
+
+type lubyMsg struct {
+	kind string // "draw", "joined", "out"
+	val  float64
+}
+
+// LubyMIS runs Luby's algorithm on the network with genuine synchronous
+// message passing (three rounds per phase: exchange random draws, announce
+// joins, announce removals). The random draws come from per-node RNGs
+// seeded from the given seed, preserving the LOCAL model's private
+// randomness.
+func LubyMIS(net *local.Network, seed int64, maxPhases int) (*MISResult, error) {
+	n := net.G.N()
+	if maxPhases <= 0 {
+		maxPhases = 16 * (bitLen(n) + 1)
+	}
+	rngs := make([]*rand.Rand, n)
+	for v := 0; v < n; v++ {
+		rngs[v] = rand.New(rand.NewSource(seed ^ int64(v)*0x5E3779B97F4A7C15))
+	}
+	init := func(v int) any {
+		st := &lubyState{liveNeighbors: make(map[int]bool)}
+		for _, u := range net.G.Neighbors(v) {
+			st.liveNeighbors[u] = true
+		}
+		if len(st.liveNeighbors) == 0 {
+			// Isolated vertices join immediately.
+			st.status = 1
+		}
+		return st
+	}
+	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
+		st, ok := state.(*lubyState)
+		if !ok {
+			return state, nil, true
+		}
+		phaseStep := round % 3
+		var out []local.Message
+		switch phaseStep {
+		case 0:
+			// Exchange draws among undecided nodes.
+			if st.status == 0 {
+				st.draw = rngs[v].Float64()
+				for u := range st.liveNeighbors {
+					out = append(out, local.Message{From: v, To: u, Payload: lubyMsg{kind: "draw", val: st.draw}})
+				}
+			}
+		case 1:
+			// Join if the local draw beats every live neighbor's.
+			if st.status == 0 {
+				win := true
+				for _, m := range inbox {
+					msg, ok := m.Payload.(lubyMsg)
+					if !ok || msg.kind != "draw" {
+						continue
+					}
+					if msg.val > st.draw || (msg.val == st.draw && m.From > v) {
+						win = false
+					}
+				}
+				if win {
+					st.status = 1
+					for u := range st.liveNeighbors {
+						out = append(out, local.Message{From: v, To: u, Payload: lubyMsg{kind: "joined"}})
+					}
+				}
+			}
+		case 2:
+			// Nodes adjacent to a joiner leave; everyone prunes dead
+			// neighbors.
+			for _, m := range inbox {
+				msg, ok := m.Payload.(lubyMsg)
+				if !ok {
+					continue
+				}
+				if msg.kind == "joined" && st.status == 0 {
+					st.status = 2
+				}
+			}
+			if st.status != 0 {
+				for u := range st.liveNeighbors {
+					out = append(out, local.Message{From: v, To: u, Payload: lubyMsg{kind: "out"}})
+				}
+				// Deliver the departure notice, then halt next phase.
+			}
+		}
+		// Prune neighbors that announced departure.
+		for _, m := range inbox {
+			if msg, ok := m.Payload.(lubyMsg); ok && msg.kind == "out" {
+				delete(st.liveNeighbors, m.From)
+			}
+		}
+		halt := st.status != 0 && phaseStep == 2
+		return st, out, halt
+	}
+	res, err := net.Run(3*maxPhases, init, step)
+	if err != nil && !errors.Is(err, local.ErrMaxRounds) {
+		return nil, err
+	}
+	out := &MISResult{InSet: make([]bool, n), Rounds: res.Rounds}
+	for v := 0; v < n; v++ {
+		st, ok := res.States[v].(*lubyState)
+		if !ok {
+			return nil, fmt.Errorf("construct: bad state at %d", v)
+		}
+		if st.status == 0 {
+			return nil, fmt.Errorf("%w: node %d undecided after %d rounds", ErrNotConverged, v, res.Rounds)
+		}
+		out.InSet[v] = st.status == 1
+	}
+	return out, nil
+}
+
+// Verify checks that the result is an independent dominating set (i.e. a
+// maximal independent set) of g.
+func Verify(g *graph.Graph, r *MISResult) error {
+	if len(r.InSet) != g.N() {
+		return fmt.Errorf("construct: result size %d != n %d", len(r.InSet), g.N())
+	}
+	for _, e := range g.Edges() {
+		if r.InSet[e.U] && r.InSet[e.V] {
+			return fmt.Errorf("construct: edge (%d,%d) inside the set", e.U, e.V)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if r.InSet[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if r.InSet[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("construct: vertex %d neither in the set nor dominated", v)
+		}
+	}
+	return nil
+}
+
+func bitLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

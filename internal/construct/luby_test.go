@@ -1,0 +1,153 @@
+package construct
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/model"
+)
+
+func TestLubyMISOnFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle9", graph.Cycle(9)},
+		{"path17", graph.Path(17)},
+		{"grid5x5", graph.Grid(5, 5)},
+		{"complete7", graph.Complete(7)},
+		{"star12", graph.Star(12)},
+		{"tree", graph.CompleteTree(3, 3)},
+		{"isolated", graph.New(5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := local.NewNetwork(tc.g)
+			for seed := int64(0); seed < 5; seed++ {
+				res, err := LubyMIS(net, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := Verify(tc.g, res); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestLubyMISRoundsLogarithmic(t *testing.T) {
+	// Rounds should grow far slower than n (O(log n) phases w.h.p.).
+	small := graph.Cycle(32)
+	big := graph.Cycle(512)
+	rs, err := LubyMIS(local.NewNetwork(small), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := LubyMIS(local.NewNetwork(big), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rb.Rounds) > 4*float64(rs.Rounds)*math.Log2(512)/math.Log2(32) {
+		t.Errorf("rounds grew too fast: %d (n=32) vs %d (n=512)", rs.Rounds, rb.Rounds)
+	}
+}
+
+func TestLubyMISCompleteGraphIsSingleton(t *testing.T) {
+	g := graph.Complete(6)
+	res, err := LubyMIS(local.NewNetwork(g), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set()) != 1 {
+		t.Errorf("MIS of K6 = %v", res.Set())
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := graph.Path(3)
+	// Not independent.
+	if err := Verify(g, &MISResult{InSet: []bool{true, true, false}}); err == nil {
+		t.Error("dependent set verified")
+	}
+	// Not maximal.
+	if err := Verify(g, &MISResult{InSet: []bool{false, false, false}}); err == nil {
+		t.Error("non-maximal set verified")
+	}
+	// Wrong size.
+	if err := Verify(g, &MISResult{InSet: []bool{true}}); err == nil {
+		t.Error("size mismatch verified")
+	}
+	// Valid.
+	if err := Verify(g, &MISResult{InSet: []bool{true, false, true}}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+}
+
+// TestConstructionIsNotSampling demonstrates the paper's motivating
+// distinction: Luby's MIS constructs feasible configurations of the
+// hardcore support, but its output distribution is biased — maximal sets
+// only, so e.g. the empty independent set never appears although the
+// hardcore measure (λ=1: uniform over ALL independent sets) charges it.
+func TestConstructionIsNotSampling(t *testing.T) {
+	g := graph.Cycle(6)
+	spec, err := model.Hardcore(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := dist.NewEmpirical(6)
+	net := local.NewNetwork(g)
+	const trials = 2000
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := LubyMIS(net, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := make(dist.Config, 6)
+		for v, inSet := range res.InSet {
+			if inSet {
+				cfg[v] = model.In
+			} else {
+				cfg[v] = model.Out
+			}
+		}
+		// Every output is feasible for the hardcore model...
+		w, err := spec.Weight(cfg)
+		if err != nil || w <= 0 {
+			t.Fatalf("MIS output infeasible: %v", cfg)
+		}
+		emp.Observe(cfg)
+	}
+	got, err := emp.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := dist.TVJoint(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but far from the hardcore distribution: C6 has 18 independent
+	// sets of which only 5 are maximal, so TV is bounded well away from 0.
+	if tv < 0.3 {
+		t.Errorf("construction unexpectedly close to the Gibbs measure: TV = %v", tv)
+	}
+	empty := dist.Config{0, 0, 0, 0, 0, 0}
+	if got.Prob(empty) != 0 {
+		t.Error("MIS produced the empty set")
+	}
+	if truth.Prob(empty) == 0 {
+		t.Error("hardcore measure should charge the empty set")
+	}
+}

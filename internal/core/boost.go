@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+)
+
+// BoostResult reports the outcome of the boosting algorithm A×.
+type BoostResult struct {
+	// Marginal is the boosted estimate of µ^τ_v, accurate within
+	// multiplicative error ε.
+	Marginal dist.Dist
+	// Radius is the LOCAL radius consumed: 2t + ℓ with t the additive
+	// oracle's radius at error ε/(5qn).
+	Radius int
+	// Shell is the pinned shell Γ = B_{t+ℓ}(v) \ (B_t(v) ∪ Λ).
+	Shell []int
+	// ShellPins records the values chosen on the shell.
+	ShellPins dist.Config
+}
+
+// Boost implements the boosting lemma (Lemma 4.1): for local Gibbs
+// distributions, approximate inference with additive (total variation)
+// error δ = ε/(5qn) is boosted to approximate inference with multiplicative
+// error ε. The algorithm A× at node v:
+//
+//  1. lets t be the additive oracle's radius at error ε/(5qn), and ℓ the
+//     locality of the Gibbs distribution;
+//  2. enumerates the shell Γ = B_{t+ℓ}(v) \ (B_t(v) ∪ Λ) in increasing ID
+//     order, pinning each shell vertex to the mode of the oracle's estimated
+//     conditional marginal (each such extension stays feasible because the
+//     mode has probability ≥ 1/q − δ > 0);
+//  3. returns the marginal of v computed exactly within the ball
+//     B = B_{t+ℓ}(v), which by conditional independence (Proposition 2.1)
+//     is fully determined by local information once Γ ∪ Λ separates the
+//     ball interior from the rest of the graph.
+//
+// The chain-rule telescoping of the paper shows the result is within
+// multiplicative error ε of µ^τ_v.
+func Boost(in *gibbs.Instance, o Oracle, v int, eps float64) (*BoostResult, error) {
+	if o == nil {
+		return nil, ErrNoOracle
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: boosting needs 0 < eps < 1, got %v", eps)
+	}
+	n := in.N()
+	q := in.Q()
+	if x := in.Pinned[v]; x != dist.Unset {
+		return &BoostResult{Marginal: dist.Point(q, x)}, nil
+	}
+	ell, err := in.Spec.Locality()
+	if err != nil {
+		return nil, err
+	}
+	delta := eps / (5 * float64(q) * float64(n))
+	// Probe the oracle's radius at this accuracy.
+	_, t, err := o.Marginal(in, v, delta)
+	if err != nil {
+		return nil, err
+	}
+	g := in.Spec.G
+	inner := make(map[int]bool)
+	for _, u := range g.Ball(v, t) {
+		inner[u] = true
+	}
+	var shell []int
+	for _, u := range g.Ball(v, t+ell) {
+		if !inner[u] && in.Pinned[u] == dist.Unset {
+			shell = append(shell, u)
+		}
+	}
+	sort.Ints(shell)
+	// Pin the shell one vertex at a time at the oracle's mode.
+	cur := in
+	pins := dist.NewConfig(n)
+	for _, u := range shell {
+		mu, _, err := o.Marginal(cur, u, delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: boost shell marginal at %d: %w", u, err)
+		}
+		if err := oracleSanity(mu, q); err != nil {
+			return nil, err
+		}
+		c := mu.ArgMax()
+		pins[u] = c
+		cur, err = cur.Pin(u, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Exact within-ball computation of µ^{τ_m}_v.
+	ball := g.Ball(v, t+ell)
+	marg, err := exact.BallMarginal(cur, v, ball)
+	if err != nil {
+		return nil, fmt.Errorf("core: boost ball marginal: %w", err)
+	}
+	return &BoostResult{
+		Marginal:  marg,
+		Radius:    2*t + ell,
+		Shell:     shell,
+		ShellPins: pins,
+	}, nil
+}
+
+// BoostOracle packages Boost as a MultOracle, so that any additive-error
+// oracle can feed the distributed JVV sampler (this is how Theorem 4.2
+// follows from Lemma 4.1 plus Proposition 4.3).
+type BoostOracle struct {
+	// Additive is the total-variation-error oracle being boosted.
+	Additive Oracle
+}
+
+var _ MultOracle = (*BoostOracle)(nil)
+
+// MarginalMult implements MultOracle via Lemma 4.1.
+func (o *BoostOracle) MarginalMult(in *gibbs.Instance, v int, eps float64) (dist.Dist, int, error) {
+	res, err := Boost(in, o.Additive, v, eps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Marginal, res.Radius, nil
+}

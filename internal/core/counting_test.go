@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/slocal"
+)
+
+func TestEstimateLogPartitionExactOracle(t *testing.T) {
+	// With the zero-error oracle the chain-rule estimate equals ln Z
+	// exactly.
+	for _, tc := range []struct {
+		name   string
+		g      *graph.Graph
+		lambda float64
+	}{
+		{"path5", graph.Path(5), 1},
+		{"cycle6", graph.Cycle(6), 2},
+		{"grid3x3", graph.Grid(3, 3), 0.7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := hardcoreInstance(t, tc.g, tc.lambda, nil)
+			want, err := exact.LogPartition(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := EstimateLogPartition(in, &ExactOracle{}, nil, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.LogZ-want) > 1e-9 {
+				t.Errorf("lnZ = %v, want %v", res.LogZ, want)
+			}
+			if res.Terms != tc.g.N() {
+				t.Errorf("terms = %d", res.Terms)
+			}
+		})
+	}
+}
+
+func TestEstimateLogPartitionDecayOracle(t *testing.T) {
+	// With an ε-multiplicative oracle the error is at most n·ε.
+	g := graph.Cycle(12)
+	lambda := 1.0
+	in := hardcoreInstance(t, g, lambda, nil)
+	o := sawOracle(t, g, lambda)
+	want, err := exact.LogPartition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1e-4
+	res, err := EstimateLogPartition(in, o, nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LogZ-want) > float64(g.N())*eps {
+		t.Errorf("lnZ error %v exceeds n·ε = %v", math.Abs(res.LogZ-want), float64(g.N())*eps)
+	}
+	if res.MaxRadius <= 0 {
+		t.Errorf("radius = %d", res.MaxRadius)
+	}
+}
+
+func TestEstimateLogPartitionConditional(t *testing.T) {
+	// Conditional partition functions (self-reducibility) work too.
+	g := graph.Path(6)
+	pin := dist.Config{1, dist.Unset, dist.Unset, dist.Unset, dist.Unset, 0}
+	in := hardcoreInstance(t, g, 1.5, pin)
+	want, err := exact.LogPartition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateLogPartition(in, &ExactOracle{}, nil, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LogZ-want) > 1e-9 {
+		t.Errorf("conditional lnZ = %v, want %v", res.LogZ, want)
+	}
+	if res.Terms != 4 {
+		t.Errorf("terms = %d, want 4 free vertices", res.Terms)
+	}
+}
+
+func TestEstimateLogPartitionOrderInvariance(t *testing.T) {
+	// Every ordering yields the same ln Z with an exact oracle (the chain
+	// rule holds in any order).
+	g := graph.Cycle(7)
+	in := hardcoreInstance(t, g, 2, nil)
+	ref, err := EstimateLogPartition(in, &ExactOracle{}, slocal.IdentityOrder(7), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{
+		slocal.ReverseOrder(7),
+		slocal.BoundaryFirstOrder(g),
+	} {
+		res, err := EstimateLogPartition(in, &ExactOracle{}, order, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.LogZ-ref.LogZ) > 1e-9 {
+			t.Errorf("order-dependent lnZ: %v vs %v", res.LogZ, ref.LogZ)
+		}
+	}
+}
+
+func TestEstimateLogPartitionCountsColorings(t *testing.T) {
+	// Boolean factors: Z counts feasible configurations; C4 has 18 proper
+	// 3-colorings.
+	s, err := model.Coloring(graph.Cycle(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateLogPartition(in, &ExactOracle{}, nil, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Exp(res.LogZ); math.Abs(got-18) > 1e-6 {
+		t.Errorf("counted %v colorings, want 18", got)
+	}
+}
+
+func TestEstimateLogPartitionErrors(t *testing.T) {
+	g := graph.Path(3)
+	in := hardcoreInstance(t, g, 1, nil)
+	if _, err := EstimateLogPartition(in, nil, nil, 0.1); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := EstimateLogPartition(in, &ExactOracle{}, []int{0, 0, 1}, 0.1); err == nil {
+		t.Error("bad order accepted")
+	}
+}

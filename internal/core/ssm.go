@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+)
+
+// SSMInference implements the converse direction of Theorem 5.1: for
+// locally admissible, local Gibbs distributions exhibiting strong spatial
+// mixing with rate δ_n(·), approximate inference at v with total variation
+// error δ is computed with radius t + 2ℓ where t = min{t' : δ_n(t') ≤ δ}:
+//
+//  1. extend τ to a feasible configuration τ' on the shell
+//     Γ = B_{t+ℓ}(v) \ (B_t(v) ∪ Λ) — local admissibility makes a greedy,
+//     locally feasible extension globally feasible (condition (14));
+//  2. return the exact marginal µ^{τ'}_v computed within B_{t+ℓ}(v), which
+//     conditional independence (Proposition 2.1) determines from local
+//     information.
+//
+// The coupling argument of the paper bounds d_TV(µ^{τ'}_v, µ^τ_v) ≤ δ_n(t).
+func SSMInference(in *gibbs.Instance, v, t int) (dist.Dist, int, error) {
+	q := in.Q()
+	if x := in.Pinned[v]; x != dist.Unset {
+		return dist.Point(q, x), 0, nil
+	}
+	ell, err := in.Spec.Locality()
+	if err != nil {
+		return nil, 0, err
+	}
+	g := in.Spec.G
+	inner := make(map[int]bool)
+	for _, u := range g.Ball(v, t) {
+		inner[u] = true
+	}
+	var shell []int
+	for _, u := range g.Ball(v, t+ell) {
+		if !inner[u] && in.Pinned[u] == dist.Unset {
+			shell = append(shell, u)
+		}
+	}
+	sort.Ints(shell)
+	// Greedy locally feasible extension of τ onto the shell.
+	ext := in.Pinned.Clone()
+	for _, u := range shell {
+		done := false
+		for x := 0; x < q; x++ {
+			ext[u] = x
+			if in.Spec.LocallyFeasibleAt(ext, u) {
+				done = true
+				break
+			}
+		}
+		if !done {
+			return nil, 0, fmt.Errorf("core: SSM inference shell extension stuck at %d: %w", u, gibbs.ErrInfeasible)
+		}
+	}
+	extended := in.PinAll(ext)
+	marg, err := exact.BallMarginal(extended, v, g.Ball(v, t+ell))
+	if err != nil {
+		return nil, 0, err
+	}
+	return marg, t + 2*ell, nil
+}
+
+// SSMOracle packages SSMInference as an additive-error Oracle given a
+// certified decay rate (δ_n(t) = n·Rate^t). This realizes "SSM ⇒ inference
+// is easy" with t(n, δ) = min{t : δ_n(t) ≤ δ} + O(1). The within-ball
+// computation enumerates the ball, so it is practical for small radii or
+// small alphabets; the model-specific decay oracles are the scalable path.
+type SSMOracle struct {
+	// Rate is the certified SSM decay rate α.
+	Rate float64
+	// MaxRadius caps the shell radius (0 = no cap).
+	MaxRadius int
+}
+
+var _ Oracle = (*SSMOracle)(nil)
+
+// Marginal implements Oracle via SSMInference.
+func (o *SSMOracle) Marginal(in *gibbs.Instance, v int, delta float64) (dist.Dist, int, error) {
+	if o.Rate >= 1 || o.Rate < 0 {
+		return nil, 0, fmt.Errorf("core: SSM oracle rate %v does not certify decay", o.Rate)
+	}
+	t := 1
+	if o.Rate > 0 {
+		x := math.Log(delta/float64(in.N())) / math.Log(o.Rate)
+		if x > 1 {
+			t = int(math.Ceil(x))
+		}
+	}
+	if o.MaxRadius > 0 && t > o.MaxRadius {
+		t = o.MaxRadius
+	}
+	return SSMInference(in, v, t)
+}
+
+// SSMPoint is one measurement of decay: the discrepancy at v between two
+// boundary conditions that differ at distance Dist from v.
+type SSMPoint struct {
+	// Dist is distG(v, D), the distance to the disagreement set.
+	Dist int
+	// TV is d_TV(µ^σ_v, µ^τ_v).
+	TV float64
+	// Mult is err(µ^σ_v, µ^τ_v) (may be +Inf if supports differ).
+	Mult float64
+}
+
+// MeasureSSM empirically measures strong spatial mixing for the instance's
+// distribution at vertex v (Definition 5.1, and the forward direction of
+// Theorem 5.1): for every distance t = 1..maxDist it pins the sphere at
+// distance exactly t from v with every pair drawn from `boundaries`
+// (functions producing feasible sphere configurations) and records the
+// worst-case discrepancy of the exact conditional marginals at v.
+//
+// boundaries receives the sorted sphere vertex list and must return a
+// feasible configuration on it (entries outside the sphere are ignored).
+func MeasureSSM(in *gibbs.Instance, v, maxDist int, boundaries []func(sphere []int) dist.Config) ([]SSMPoint, error) {
+	if len(boundaries) < 2 {
+		return nil, errors.New("core: MeasureSSM needs at least two boundary conditions")
+	}
+	g := in.Spec.G
+	distFromV := g.BFSDistances(v)
+	var points []SSMPoint
+	for t := 1; t <= maxDist; t++ {
+		var sphere []int
+		for u := 0; u < g.N(); u++ {
+			if distFromV[u] == t && in.Pinned[u] == dist.Unset {
+				sphere = append(sphere, u)
+			}
+		}
+		if len(sphere) == 0 {
+			continue
+		}
+		// Collect the conditional marginals for every boundary condition
+		// that is feasible.
+		var margs []dist.Dist
+		for _, b := range boundaries {
+			bc := b(sphere)
+			pin := in.Pinned.Clone()
+			ok := true
+			for _, u := range sphere {
+				if bc[u] == dist.Unset {
+					ok = false
+					break
+				}
+				pin[u] = bc[u]
+			}
+			if !ok {
+				continue
+			}
+			cond := in.PinAll(pin)
+			if !cond.LocallyFeasible() {
+				continue
+			}
+			feas, err := exact.IsFeasible(cond)
+			if err != nil {
+				return nil, err
+			}
+			if !feas {
+				continue
+			}
+			m, err := exact.Marginal(cond, v)
+			if err != nil {
+				return nil, err
+			}
+			margs = append(margs, m)
+		}
+		if len(margs) < 2 {
+			continue
+		}
+		worstTV, worstMult := 0.0, 0.0
+		for i := 0; i < len(margs); i++ {
+			for j := i + 1; j < len(margs); j++ {
+				tv, err := dist.TV(margs[i], margs[j])
+				if err != nil {
+					return nil, err
+				}
+				me, err := dist.MultErr(margs[i], margs[j])
+				if err != nil {
+					return nil, err
+				}
+				if tv > worstTV {
+					worstTV = tv
+				}
+				if me > worstMult {
+					worstMult = me
+				}
+			}
+		}
+		points = append(points, SSMPoint{Dist: t, TV: worstTV, Mult: worstMult})
+	}
+	return points, nil
+}
+
+// FitDecayRate fits an exponential decay rate α to measured SSM points by
+// least squares on log values (ignoring zero/Inf entries and the useTV
+// selector picks TV vs multiplicative error). It returns the fitted α and
+// the number of usable points; fewer than two usable points yields α = 0.
+func FitDecayRate(points []SSMPoint, useTV bool) (float64, int) {
+	var xs, ys []float64
+	for _, p := range points {
+		val := p.TV
+		if !useTV {
+			val = p.Mult
+		}
+		if val <= 0 || math.IsInf(val, 0) || math.IsNaN(val) {
+			continue
+		}
+		xs = append(xs, float64(p.Dist))
+		ys = append(ys, math.Log(val))
+	}
+	if len(xs) < 2 {
+		return 0, len(xs)
+	}
+	// Least-squares slope of ln(val) against distance.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, len(xs)
+	}
+	slope := (n*sxy - sx*sy) / denom
+	alpha := math.Exp(slope)
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha, len(xs)
+}
+
+// InferenceImpliesSSM computes the forward direction of Theorem 5.1 as a
+// bound: an inference algorithm with radius function t(n, δ) certifies SSM
+// with rate δ_n(t) = 2·min{δ : t(n, δ) ≤ t − 1}. For decay oracles with
+// radius t(n, δ) = ceil(log_α(δ/n)) this inverts to δ_n(t) = 2n·α^(t−1).
+func InferenceImpliesSSM(alpha float64, n, t int) float64 {
+	if t <= 1 {
+		return 1
+	}
+	return math.Min(1, 2*float64(n)*math.Pow(alpha, float64(t-1)))
+}

@@ -1,0 +1,211 @@
+package decay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func TestBallEstimatorMatchesSAW(t *testing.T) {
+	// On the hardcore model the generic ball estimator and the SAW
+	// estimator must both converge to the exact marginal.
+	g := graph.Cycle(10)
+	lambda := 1.2
+	spec, err := model.Hardcore(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := NewBallEstimator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ball.Locality() != 1 {
+		t.Fatalf("hardcore locality = %d", ball.Locality())
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Marginal(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ball.Marginal(in.Pinned, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := dist.TV(want, got)
+	if tv > 0.01 {
+		t.Errorf("ball estimator off by %v", tv)
+	}
+}
+
+func TestBallEstimatorErrorDecays(t *testing.T) {
+	g := graph.Cycle(14)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := NewBallEstimator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Marginal(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, depth := range []int{1, 3, 5} {
+		got, err := ball.Marginal(in.Pinned, 0, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv, _ := dist.TV(want, got)
+		if tv > prev+1e-12 {
+			t.Fatalf("error not decaying: %v then %v at depth %d", prev, tv, depth)
+		}
+		prev = tv
+	}
+	if prev > 0.01 {
+		t.Errorf("depth-5 error %v", prev)
+	}
+}
+
+// customNoTriple builds a Gibbs distribution outside the shipped model
+// catalogue: binary variables on a cycle where no three consecutive
+// vertices may all be occupied, with activity λ per occupied vertex. The
+// factor scope {i, i+1, i+2} has diameter 2, exercising ℓ > 1. The model is
+// locally admissible (all-zeros always completes), so the generic
+// machinery applies.
+func customNoTriple(t *testing.T, n int, lambda float64) *gibbs.Spec {
+	t.Helper()
+	g := graph.Cycle(n)
+	var factors []gibbs.Factor
+	for v := 0; v < n; v++ {
+		v := v
+		factors = append(factors, gibbs.Factor{
+			Scope: []int{v},
+			Eval: func(a []int) float64 {
+				if a[0] == 1 {
+					return lambda
+				}
+				return 1
+			},
+		})
+		factors = append(factors, gibbs.Factor{
+			Scope: []int{v, (v + 1) % n, (v + 2) % n},
+			Eval: func(a []int) float64 {
+				if a[0] == 1 && a[1] == 1 && a[2] == 1 {
+					return 0
+				}
+				return 1
+			},
+		})
+	}
+	spec, err := gibbs.NewSpec(g, 2, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestBallEstimatorCustomModel(t *testing.T) {
+	spec := customNoTriple(t, 11, 1.3)
+	ball, err := NewBallEstimator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ball.Locality() != 2 {
+		t.Fatalf("no-triple locality = %d, want 2", ball.Locality())
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Marginal(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ball.Marginal(in.Pinned, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := dist.TV(want, got)
+	if tv > 0.01 {
+		t.Errorf("custom-model ball estimator off by %v (got %v, want %v)", tv, got, want)
+	}
+	// Pinned vertex returns its point mass.
+	pin := dist.NewConfig(11)
+	pin[3] = 1
+	m, err := ball.Marginal(pin, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[1] != 1 {
+		t.Errorf("pinned = %v", m)
+	}
+}
+
+func TestBallEstimatorConditional(t *testing.T) {
+	spec := customNoTriple(t, 9, 2.0)
+	ball, err := NewBallEstimator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		pin := dist.NewConfig(9)
+		// Random locally feasible pinning.
+		for v := 0; v < 9; v++ {
+			if rng.Intn(3) == 0 {
+				pin[v] = rng.Intn(2)
+				if !spec.LocallyFeasible(pin) {
+					pin[v] = 0
+				}
+			}
+		}
+		in, err := gibbs.NewInstance(spec, pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := rng.Intn(9)
+		if pin[v] != dist.Unset {
+			continue
+		}
+		want, err := exact.Marginal(in, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ball.Marginal(pin, v, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv, _ := dist.TV(want, got)
+		if tv > 0.02 {
+			t.Errorf("trial %d: conditional error %v", trial, tv)
+		}
+	}
+}
+
+func TestBallEstimatorValidation(t *testing.T) {
+	spec := customNoTriple(t, 7, 1)
+	ball, err := NewBallEstimator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ball.Marginal(dist.NewConfig(7), 99, 2); err == nil {
+		t.Error("bad vertex accepted")
+	}
+	if _, err := ball.Marginal(dist.NewConfig(3), 0, 2); err == nil {
+		t.Error("short pinning accepted")
+	}
+}

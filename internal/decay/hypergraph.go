@@ -1,0 +1,16 @@
+package decay
+
+import (
+	"repro/internal/model"
+)
+
+// NewHypergraphMatchingEstimator returns a marginal estimator for the
+// weighted hypergraph matching model of Song–Yin–Zhao: a hypergraph
+// matching is exactly an independent set of the intersection graph of
+// hyperedges, so the Weitz SAW-tree estimator for the hardcore model on
+// that graph computes hyperedge marginals, with strong spatial mixing
+// below λc(r, Δ) (Section 5 of the paper). Variables are hyperedge indices;
+// pinned configurations pin hyperedges In (matched) or Out.
+func NewHypergraphMatchingEstimator(m *model.HypergraphMatchingModel) (*TwoSpinSAW, error) {
+	return NewHardcoreSAW(m.Spec.G, m.Lambda)
+}

@@ -1,0 +1,129 @@
+package decay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func TestHypergraphMatchingEstimatorExact(t *testing.T) {
+	// A small 3-uniform hypergraph; full-depth SAW on the intersection
+	// graph must reproduce brute-force hyperedge marginals.
+	h := graph.NewHypergraph(7)
+	for _, e := range [][]int{{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {1, 3, 5}} {
+		if err := h.AddEdge(e...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, lambda := range []float64{0.3, 1, 2} {
+		m, err := model.HypergraphMatching(h, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := NewHypergraphMatchingEstimator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := gibbs.NewInstance(m.Spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < h.M(); e++ {
+			want, err := exact.Marginal(in, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := est.Marginal(in.Pinned, e, m.Spec.N()+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv, _ := dist.TV(want, got)
+			if tv > 1e-9 {
+				t.Fatalf("λ=%v edge %d: est %v, exact %v", lambda, e, got, want)
+			}
+		}
+	}
+}
+
+func TestHypergraphMatchingEstimatorConditional(t *testing.T) {
+	// Pinning one hyperedge In excludes every intersecting hyperedge.
+	h := graph.NewHypergraph(5)
+	_ = h.AddEdge(0, 1, 2)
+	_ = h.AddEdge(2, 3)
+	_ = h.AddEdge(3, 4)
+	m, err := model.HypergraphMatching(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewHypergraphMatchingEstimator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := dist.NewConfig(3)
+	pin[0] = model.In
+	got, err := est.Marginal(pin, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[model.In] > 1e-12 {
+		t.Errorf("intersecting hyperedge not excluded: %v", got)
+	}
+	// Non-intersecting hyperedge 2 keeps a nontrivial marginal.
+	in, err := gibbs.NewInstance(m.Spec, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Marginal(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := est.Marginal(pin, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := dist.TV(want, got2)
+	if tv > 1e-9 {
+		t.Fatalf("conditional hyperedge marginal %v, want %v", got2, want)
+	}
+}
+
+func TestHypergraphMatchingRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 5; trial++ {
+		h, err := graph.RandomUniformHypergraph(8, 5, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := model.HypergraphMatching(h, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := NewHypergraphMatchingEstimator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := gibbs.NewInstance(m.Spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < h.M(); e++ {
+			want, err := exact.Marginal(in, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := est.Marginal(in.Pinned, e, m.Spec.N()+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tv, _ := dist.TV(want, got)
+			if tv > 1e-9 {
+				t.Fatalf("trial %d edge %d: est %v, exact %v", trial, e, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package exact provides brute-force ground truth for small instances:
+// partition functions, exact joint distributions, exact (conditional)
+// marginals, and exact samplers, all by exhaustive enumeration. The
+// distributed algorithms never rely on this package for efficiency — it is
+// the referee against which the paper's exactness and accuracy claims
+// (Theorems 3.2, 4.2, 5.1) are verified, and it implements the exact
+// within-ball marginal computations that the paper's local algorithms
+// perform after pinning a boundary shell (Sections 4.1 and 5).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+)
+
+// ErrTooLarge indicates that enumeration would exceed the configured budget.
+var ErrTooLarge = errors.New("exact: enumeration too large")
+
+// DefaultBudget is the default maximum number of configurations enumerated.
+const DefaultBudget = 1 << 24
+
+// enumerate iterates over all total extensions of the instance pinning,
+// calling visit with the configuration and its weight (visit must not retain
+// the config).
+func enumerate(in *gibbs.Instance, budget int, visit func(c dist.Config, w float64)) error {
+	free := in.FreeVertices()
+	q := in.Q()
+	total := 1.0
+	for range free {
+		total *= float64(q)
+		if total > float64(budget) {
+			return fmt.Errorf("%w: q^free = %.0f > budget %d", ErrTooLarge, total, budget)
+		}
+	}
+	cfg := in.Pinned.Clone()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(free) {
+			w, err := in.Spec.Weight(cfg)
+			if err != nil {
+				return err
+			}
+			if w > 0 {
+				visit(cfg, w)
+			}
+			return nil
+		}
+		v := free[i]
+		for x := 0; x < q; x++ {
+			cfg[v] = x
+			// Prune: if a fully assigned factor at v is already violated,
+			// no extension can be feasible.
+			if !in.Spec.LocallyFeasibleAt(cfg, v) {
+				continue
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		cfg[v] = dist.Unset
+		return nil
+	}
+	return rec(0)
+}
+
+// Partition returns Z(τ) = Σ_{σ ⊇ τ} w(σ), the conditional partition
+// function of the instance.
+func Partition(in *gibbs.Instance) (float64, error) {
+	return PartitionBudget(in, DefaultBudget)
+}
+
+// PartitionBudget is Partition with an explicit enumeration budget.
+func PartitionBudget(in *gibbs.Instance, budget int) (float64, error) {
+	z := 0.0
+	err := enumerate(in, budget, func(_ dist.Config, w float64) { z += w })
+	if err != nil {
+		return 0, err
+	}
+	return z, nil
+}
+
+// IsFeasible reports whether the pinning of the instance is feasible with
+// respect to the Gibbs distribution, i.e. extends to a configuration of
+// positive weight (the global notion of Definition 2.5).
+func IsFeasible(in *gibbs.Instance) (bool, error) {
+	z, err := Partition(in)
+	if err != nil {
+		return false, err
+	}
+	return z > 0, nil
+}
+
+// JointDistribution returns the exact conditional joint distribution µ^τ as
+// a sparse table over total configurations.
+func JointDistribution(in *gibbs.Instance) (*dist.Joint, error) {
+	j := dist.NewJoint(in.N())
+	err := enumerate(in, DefaultBudget, func(c dist.Config, w float64) {
+		j.Add(c, w)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := j.Normalize(); err != nil {
+		return nil, fmt.Errorf("exact: %w (infeasible pinning?)", err)
+	}
+	return j, nil
+}
+
+// Marginal returns the exact conditional marginal µ^τ_v of vertex v.
+// If v is pinned the result is the point mass at its pinned value.
+func Marginal(in *gibbs.Instance, v int) (dist.Dist, error) {
+	return MarginalBudget(in, v, DefaultBudget)
+}
+
+// MarginalBudget is Marginal with an explicit enumeration budget.
+func MarginalBudget(in *gibbs.Instance, v int, budget int) (dist.Dist, error) {
+	if v < 0 || v >= in.N() {
+		return nil, fmt.Errorf("exact: marginal vertex %d out of range", v)
+	}
+	if x := in.Pinned[v]; x != dist.Unset {
+		return dist.Point(in.Q(), x), nil
+	}
+	w := make([]float64, in.Q())
+	err := enumerate(in, budget, func(c dist.Config, wt float64) {
+		w[c[v]] += wt
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		return nil, fmt.Errorf("exact: marginal at %d: %w", v, err)
+	}
+	return d, nil
+}
+
+// BallMarginal computes the marginal of v within the induced subgraph on the
+// vertex set ball, treating every vertex outside the ball as absent and
+// every pinned vertex inside the ball as fixed. By the conditional
+// independence property (Proposition 2.1), when the pinned vertices inside
+// the ball separate v from the outside, this equals the true conditional
+// marginal µ^τ_v. This is exactly the within-ball computation performed by
+// the algorithms of Lemma 4.1 and Theorem 5.1.
+func BallMarginal(in *gibbs.Instance, v int, ball []int) (dist.Dist, error) {
+	return BallMarginalBudget(in, v, ball, DefaultBudget)
+}
+
+// BallMarginalBudget is BallMarginal with an explicit enumeration budget.
+func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist.Dist, error) {
+	if x := in.Pinned[v]; x != dist.Unset {
+		return dist.Point(in.Q(), x), nil
+	}
+	inBall := make(map[int]bool, len(ball))
+	for _, u := range ball {
+		inBall[u] = true
+	}
+	if !inBall[v] {
+		return nil, fmt.Errorf("exact: ball marginal target %d not in ball", v)
+	}
+	// Free variables restricted to the ball; factors restricted to scopes
+	// fully inside the ball (w_B in the paper).
+	var free []int
+	for _, u := range ball {
+		if in.Pinned[u] == dist.Unset {
+			free = append(free, u)
+		}
+	}
+	var factors []int
+	for i, f := range in.Spec.Factors {
+		inside := true
+		for _, u := range f.Scope {
+			if !inBall[u] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			factors = append(factors, i)
+		}
+	}
+	q := in.Q()
+	total := 1.0
+	for range free {
+		total *= float64(q)
+		if total > float64(budget) {
+			return nil, fmt.Errorf("%w: ball enumeration q^%d", ErrTooLarge, len(free))
+		}
+	}
+	weights := make([]float64, q)
+	cfg := in.Pinned.Clone()
+	evalUpTo := func(c dist.Config, u int) bool {
+		// Check factors containing u whose scope is inside the ball and
+		// fully assigned.
+		for _, i := range in.Spec.FactorsAt(u) {
+			f := in.Spec.Factors[i]
+			ok := true
+			for _, w := range f.Scope {
+				if !inBall[w] || c[w] == dist.Unset {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign := make([]int, len(f.Scope))
+			for j, w := range f.Scope {
+				assign[j] = c[w]
+			}
+			if f.Eval(assign) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			w := 1.0
+			for _, fi := range factors {
+				f := in.Spec.Factors[fi]
+				assign := make([]int, len(f.Scope))
+				for j, u := range f.Scope {
+					assign[j] = cfg[u]
+				}
+				w *= f.Eval(assign)
+				if w == 0 {
+					return
+				}
+			}
+			weights[cfg[v]] += w
+			return
+		}
+		u := free[i]
+		for x := 0; x < q; x++ {
+			cfg[u] = x
+			if evalUpTo(cfg, u) {
+				rec(i + 1)
+			}
+		}
+		cfg[u] = dist.Unset
+	}
+	rec(0)
+	d, err := dist.FromWeights(weights)
+	if err != nil {
+		return nil, fmt.Errorf("exact: ball marginal at %d: %w", v, err)
+	}
+	return d, nil
+}
+
+// Sample draws an exact sample from µ^τ by enumeration (ground truth for
+// statistical tests).
+func Sample(in *gibbs.Instance, rng *rand.Rand) (dist.Config, error) {
+	j, err := JointDistribution(in)
+	if err != nil {
+		return nil, err
+	}
+	return j.Sample(rng)
+}
+
+// CountFeasible returns the number of feasible total configurations (for
+// uniform/Boolean-factor distributions this is the counting quantity |Ω_I|
+// of the introduction).
+func CountFeasible(in *gibbs.Instance) (int, error) {
+	n := 0
+	err := enumerate(in, DefaultBudget, func(_ dist.Config, _ float64) { n++ })
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// LogPartition returns ln Z(τ). It errs on infeasible pinnings.
+func LogPartition(in *gibbs.Instance) (float64, error) {
+	z, err := Partition(in)
+	if err != nil {
+		return 0, err
+	}
+	if z <= 0 {
+		return 0, gibbs.ErrInfeasible
+	}
+	return math.Log(z), nil
+}

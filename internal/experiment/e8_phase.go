@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// E8PhaseTransition reproduces the headline result: the computational phase
+// transition for distributed sampling at the hardcore uniqueness threshold
+// λc(Δ) = (Δ−1)^(Δ−1)/(Δ−2)^Δ.
+//
+// On the depth-d complete (Δ−1)-ary tree, it pins the leaves to the two
+// extremal boundary conditions (all-Out, all-In) and computes the exact
+// root marginal under each (the SAW recursion is exact on trees). The total
+// variation distance between the two root marginals is the boundary-to-root
+// correlation:
+//
+//   - λ < λc: the correlation decays exponentially in d — strong spatial
+//     mixing, so inference needs radius O(log n) and exact sampling runs in
+//     O(log³ n) rounds (Corollary 5.3);
+//   - λ > λc: the correlation stays bounded away from zero for even depths
+//     — long-range order, so any approximate sampler needs Ω(diam) rounds
+//     (the lower bound of [FSY17] quoted in Section 5).
+//
+// The table reports the correlation as a function of depth for a sweep of
+// λ/λc; the phase transition is visible as the decay-vs-no-decay dichotomy
+// across the λ = λc row.
+func E8PhaseTransition(delta int, lambdaRatios []float64, depths []int) (*Table, error) {
+	if delta < 3 {
+		return nil, fmt.Errorf("experiment: phase transition needs Δ ≥ 3, got %d", delta)
+	}
+	lc := model.LambdaC(delta)
+	t := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("hardcore phase transition at λc(%d) = %s (Section 5 + [FSY17])", delta, f(lc)),
+		Claim: "λ<λc: correlation decays (O(log³n) sampling); λ>λc: correlation persists (Ω(diam) lower bound)",
+	}
+	t.Columns = []string{"λ/λc"}
+	for _, dep := range depths {
+		t.Columns = append(t.Columns, fmt.Sprintf("corr@depth %d", dep))
+	}
+	t.Columns = append(t.Columns, "decaying")
+	for _, ratio := range lambdaRatios {
+		lambda := ratio * lc
+		row := []string{f(ratio)}
+		var corr []float64
+		for _, dep := range depths {
+			c, err := treeBoundaryCorrelation(delta, dep, lambda)
+			if err != nil {
+				return nil, err
+			}
+			corr = append(corr, c)
+			row = append(row, f(c))
+		}
+		// Judge decay on the two deepest same-parity entries (the hardcore
+		// model oscillates with boundary parity above λc, so same-parity
+		// comparison is the honest test): exponential decay shows as a
+		// clear shrink between them; long-range order as a plateau.
+		verdict := "yes"
+		if len(corr) >= 2 {
+			prev, last := corr[len(corr)-2], corr[len(corr)-1]
+			if last > 0.75*prev && last > 1e-3 {
+				verdict = "NO (long-range order)"
+			}
+		}
+		row = append(row, verdict)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"decay for λ/λc < 1 and persistence for λ/λc > 1 is the first computational phase transition for distributed sampling",
+		"at λ = λc exactly, the decay is sub-exponential (critical slowing down), so the verdict column reports NO there too — the uniqueness regime of Corollary 5.3 is the open interval λ < λc")
+	return t, nil
+}
+
+// treeBoundaryCorrelation builds the complete (Δ−1)-ary tree of the given
+// depth, pins the leaves to all-Out and all-In, and returns the TV distance
+// between the two exact root marginals.
+func treeBoundaryCorrelation(delta, depth int, lambda float64) (float64, error) {
+	b := delta - 1
+	g := graph.CompleteTree(b, depth)
+	est, err := decay.NewHardcoreSAW(g, lambda)
+	if err != nil {
+		return 0, err
+	}
+	// Leaves are the vertices of degree 1 other than the root (for depth
+	// ≥ 1 the root has degree b).
+	var leaves []int
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	pinOut := dist.NewConfig(g.N())
+	pinIn := dist.NewConfig(g.N())
+	for _, u := range leaves {
+		pinOut[u] = model.Out
+		pinIn[u] = model.In
+	}
+	// Full-depth SAW on a tree is the exact marginal.
+	mOut, err := est.Marginal(pinOut, 0, g.N())
+	if err != nil {
+		return 0, err
+	}
+	mIn, err := est.Marginal(pinIn, 0, g.N())
+	if err != nil {
+		return 0, err
+	}
+	return dist.TV(mOut, mIn)
+}
+
+// E8RequiredRadius reports, for the same sweep, the radius needed by the
+// truncated SAW estimator to reach a fixed accuracy on the tree — the
+// operational meaning of the transition: below λc the radius is flat in
+// depth; above λc it grows with the tree depth (i.e. with the diameter).
+func E8RequiredRadius(delta int, lambdaRatios []float64, depth int, eps float64) (*Table, error) {
+	lc := model.LambdaC(delta)
+	t := &Table{
+		ID:      "E8b",
+		Title:   "locality required for ε-accurate root inference",
+		Claim:   "radius O(log(1/ε)) below λc; Ω(depth) above λc",
+		Columns: []string{"λ/λc", "required radius", "tree depth"},
+	}
+	b := delta - 1
+	g := graph.CompleteTree(b, depth)
+	for _, ratio := range lambdaRatios {
+		lambda := ratio * lc
+		est, err := decay.NewHardcoreSAW(g, lambda)
+		if err != nil {
+			return nil, err
+		}
+		pin := dist.NewConfig(g.N())
+		for v := 1; v < g.N(); v++ {
+			if g.Degree(v) == 1 {
+				pin[v] = model.In
+			}
+		}
+		exactM, err := est.Marginal(pin, 0, g.N())
+		if err != nil {
+			return nil, err
+		}
+		// The hardcore recursion oscillates with parity above λc, so a
+		// single small error can be a coincidental crossing; the required
+		// radius is the smallest r from which the error stays ≤ ε.
+		errs := make([]float64, depth+2)
+		for r := 1; r <= depth+1; r++ {
+			m, err := est.Marginal(pin, 0, r)
+			if err != nil {
+				return nil, err
+			}
+			tv, err := dist.TV(m, exactM)
+			if err != nil {
+				return nil, err
+			}
+			errs[r] = tv
+		}
+		required := depth + 1
+		for r := depth + 1; r >= 1; r-- {
+			if errs[r] <= eps {
+				required = r
+			} else {
+				break
+			}
+		}
+		t.Rows = append(t.Rows, []string{f(ratio), d(required), d(depth)})
+	}
+	t.Notes = append(t.Notes, "a required radius equal to the tree depth reproduces the Ω(diam) lower bound regime")
+	return t, nil
+}

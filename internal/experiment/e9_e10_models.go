@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/decay"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// E9Matchings reproduces the O(√Δ log³ n) matching sampler claim: the
+// truncation depth the BGKNT recursion needs for a fixed accuracy grows
+// like √Δ, because the SSM rate is 1 − Θ(1/√(λΔ)). The required depth is
+// measured via the recursion on the infinite Δ-regular tree (the worst case
+// for the monomer–dimer model), p_{k+1} = 1/(1 + λ(Δ−1)·p_k), iterated from
+// the truncation base p₀ = 1 until it is within ε of its fixed point; the
+// reported depth/√Δ stays bounded, which is the √Δ factor of the paper's
+// bound. A small-Δ cross-check against the explicit-graph estimator is in
+// the package tests.
+func E9Matchings(deltas []int, lambda, eps float64, maxDepth int) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "matchings: √Δ-scaling of the SSM radius (Section 5, [BGKNT07])",
+		Claim:   "decay rate 1 − Ω(1/√Δ) ⇒ O(√Δ·log³n)-round exact sampling",
+		Columns: []string{"Δ", "rate 1−Ω(1/√(λΔ))", "1/(1−rate)", "required depth", "depth/√Δ"},
+	}
+	if maxDepth <= 0 {
+		maxDepth = 4096
+	}
+	for _, delta := range deltas {
+		required, err := matchingTreeDepth(delta, lambda, eps, maxDepth)
+		if err != nil {
+			return nil, err
+		}
+		rate := model.MatchingDecayRate(lambda, delta)
+		t.Rows = append(t.Rows, []string{
+			d(delta), f(rate), f(1 / (1 - rate)), d(required),
+			f(float64(required) / math.Sqrt(float64(delta))),
+		})
+	}
+	t.Notes = append(t.Notes, "depth/√Δ stays bounded while depth grows — the √Δ factor in O(√Δ log³n)")
+	return t, nil
+}
+
+// matchingTreeDepth iterates the regular-tree recursion until ε-convergence
+// to its fixed point and returns the iteration count.
+func matchingTreeDepth(delta int, lambda, eps float64, maxDepth int) (int, error) {
+	if delta < 2 {
+		return 0, fmt.Errorf("experiment: matching depth needs Δ ≥ 2, got %d", delta)
+	}
+	b := float64(delta - 1)
+	step := func(p float64) float64 { return 1 / (1 + lambda*b*p) }
+	// Fixed point by damped iteration.
+	star := 0.5
+	for i := 0; i < 10000; i++ {
+		star = 0.5*star + 0.5*step(star)
+	}
+	p := 1.0 // truncation base: isolated free vertex
+	for k := 1; k <= maxDepth; k++ {
+		p = step(p)
+		if math.Abs(p-star) <= eps {
+			return k, nil
+		}
+	}
+	return maxDepth, nil
+}
+
+// E10Colorings reproduces the coloring application: on triangle-free
+// graphs, the GKM recursion converges once q ≥ αΔ with α > α* ≈ 1.763;
+// the table sweeps q around α*Δ and reports the truncation depth needed for
+// a fixed accuracy (diverging as q drops toward Δ).
+func E10Colorings(deltaDeg int, qs []int, eps float64, girthGraphN int) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   fmt.Sprintf("colorings of triangle-free graphs (Section 5, [GKM13]); α*Δ = %s", f(model.AlphaStar()*float64(deltaDeg))),
+		Claim:   "q ≥ αΔ, α > α* ≈ 1.763 ⇒ SSM ⇒ O(log³n) exact sampling",
+		Columns: []string{"q", "q/Δ", "required depth", "converged"},
+	}
+	// A (Δ−1)-ary tree is triangle-free with max degree Δ; depth 6 leaves
+	// room for the required depth to vary with q.
+	g := graph.CompleteTree(deltaDeg-1, 6)
+	if !g.IsTriangleFree() {
+		return nil, fmt.Errorf("experiment: workload graph is not triangle-free")
+	}
+	_ = girthGraphN
+	for _, q := range qs {
+		est, err := decay.NewColoringEstimator(g, q, nil)
+		if err != nil {
+			return nil, err
+		}
+		pin := dist.NewConfig(g.N())
+		// Pin the leaves adversarially to color 0 to create boundary
+		// influence.
+		for v := 1; v < g.N(); v++ {
+			if g.Degree(v) == 1 {
+				pin[v] = 0
+			}
+		}
+		exactM, err := est.Marginal(pin, 0, g.N())
+		if err != nil {
+			return nil, err
+		}
+		required := -1
+		for r := 1; r <= 14; r++ {
+			got, err := est.Marginal(pin, 0, r)
+			if err != nil {
+				return nil, err
+			}
+			tv, err := dist.TV(got, exactM)
+			if err != nil {
+				return nil, err
+			}
+			if tv <= eps {
+				required = r
+				break
+			}
+		}
+		conv := "yes"
+		if required < 0 {
+			conv = "NO"
+			required = 14
+		}
+		t.Rows = append(t.Rows, []string{d(q), f(float64(q) / float64(deltaDeg)), d(required), conv})
+	}
+	t.Notes = append(t.Notes, "required depth shrinks as q/Δ passes α* — the GKM regime of Corollary 5.3")
+	return t, nil
+}
+
+// E10Ising sweeps the antiferromagnetic Ising edge activity across the
+// uniqueness interval ((Δ−2)/Δ, Δ/(Δ−2)) and reports boundary-to-root
+// correlation decay on the Δ-regular tree, reproducing the 2-spin
+// application of Section 5 ([LLY13]).
+func E10Ising(delta int, bRatios []float64, depths []int) (*Table, error) {
+	lo, hi := model.IsingUniquenessInterval(delta)
+	t := &Table{
+		ID:    "E10b",
+		Title: fmt.Sprintf("antiferro Ising uniqueness interval (%s, %s) on the Δ=%d tree", f(lo), f(hi), delta),
+		Claim: "uniqueness regime ⇒ SSM ⇒ O(log³n) exact sampling; outside it, long-range order",
+	}
+	t.Columns = []string{"b", "inside uniqueness"}
+	for _, dep := range depths {
+		t.Columns = append(t.Columns, fmt.Sprintf("corr@depth %d", dep))
+	}
+	b := delta - 1
+	for _, r := range bRatios {
+		// Sweep b multiplicatively from below lo to above: b = lo^(1-r)... use
+		// direct values: r is the actual edge activity here.
+		activity := r
+		inside := "no"
+		if activity > lo && activity < hi {
+			inside = "yes"
+		}
+		row := []string{f(activity), inside}
+		for _, dep := range depths {
+			g := graph.CompleteTree(b, dep)
+			est, err := decay.NewTwoSpinSAW(g, model.TwoSpinParams{Beta: activity, Gamma: activity, Lambda: 1})
+			if err != nil {
+				return nil, err
+			}
+			pinOut := dist.NewConfig(g.N())
+			pinIn := dist.NewConfig(g.N())
+			for v := 1; v < g.N(); v++ {
+				if g.Degree(v) == 1 {
+					pinOut[v] = model.Out
+					pinIn[v] = model.In
+				}
+			}
+			mOut, err := est.Marginal(pinOut, 0, g.N())
+			if err != nil {
+				return nil, err
+			}
+			mIn, err := est.Marginal(pinIn, 0, g.N())
+			if err != nil {
+				return nil, err
+			}
+			tv, err := dist.TV(mOut, mIn)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f(tv))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "correlation decays inside the uniqueness interval and persists outside it")
+	return t, nil
+}
+
+// E10Hypergraph sweeps the hypergraph matching activity across the
+// Song–Yin–Zhao threshold λc(r, Δ) and reports the measured decay of
+// boundary influence on the intersection-graph representation (small
+// instances, exact computation through the hardcore duality).
+func E10Hypergraph(rank, delta int, lambdaRatios []float64, depths []int) (*Table, error) {
+	lc := model.LambdaCHypergraph(rank, delta)
+	t := &Table{
+		ID:    "E10c",
+		Title: fmt.Sprintf("hypergraph matchings: threshold λc(%d,%d) = %s (Section 5, [SYZ16])", rank, delta, f(lc)),
+		Claim: "λ < λc(r,Δ) ⇒ SSM ⇒ O(log³n) exact sampling",
+	}
+	t.Columns = []string{"λ/λc"}
+	for _, dep := range depths {
+		t.Columns = append(t.Columns, fmt.Sprintf("corr@depth %d", dep))
+	}
+	// The intersection graph of a rank-r, degree-Δ hypergraph tree is a
+	// tree of branching (Δ−1)·(r−1); correlations through the hardcore
+	// duality live on that tree.
+	branch := (delta - 1) * (rank - 1)
+	for _, ratio := range lambdaRatios {
+		lambda := ratio * lc
+		row := []string{f(ratio)}
+		for _, dep := range depths {
+			g := graph.CompleteTree(branch, dep)
+			est, err := decay.NewHardcoreSAW(g, lambda)
+			if err != nil {
+				return nil, err
+			}
+			pinOut := dist.NewConfig(g.N())
+			pinIn := dist.NewConfig(g.N())
+			for v := 1; v < g.N(); v++ {
+				if g.Degree(v) == 1 {
+					pinOut[v] = model.Out
+					pinIn[v] = model.In
+				}
+			}
+			mOut, err := est.Marginal(pinOut, 0, g.N())
+			if err != nil {
+				return nil, err
+			}
+			mIn, err := est.Marginal(pinIn, 0, g.N())
+			if err != nil {
+				return nil, err
+			}
+			tv, err := dist.TV(mOut, mIn)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f(tv))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "decay below the SYZ threshold mirrors the hardcore picture through the intersection-graph duality")
+	return t, nil
+}

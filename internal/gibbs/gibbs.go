@@ -1,0 +1,242 @@
+// Package gibbs implements Gibbs distributions specified by weighted
+// constraint satisfaction problems (Definition 2.3 of Feng & Yin, PODC
+// 2018): a tuple (G, Σ, F) of a graph, a finite alphabet, and a collection
+// of nonnegative factors over local scopes. It provides configuration
+// weights, locality (Definition 2.4), local feasibility and local
+// admissibility (Definition 2.5), and instances (G, x, τ) with pinned
+// partial configurations realizing the paper's self-reducibility
+// (Definition 2.2).
+package gibbs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Factor is a constraint (f, S): a nonnegative function over the
+// configurations of its scope S ⊆ V. The function receives the values of
+// the scope vertices in scope order. A factor is "hard" if it can evaluate
+// to zero.
+type Factor struct {
+	// Scope lists the vertices the factor reads, in a fixed order.
+	Scope []int
+	// Eval returns the nonnegative weight of the given assignment to Scope
+	// (assignment indexed parallel to Scope).
+	Eval func(assign []int) float64
+	// Name is an optional human-readable label used in diagnostics.
+	Name string
+}
+
+// Spec specifies a Gibbs distribution (G, Σ, F).
+type Spec struct {
+	// G is the underlying interaction graph.
+	G *graph.Graph
+	// Q is the alphabet size |Σ|; symbols are 0..Q-1.
+	Q int
+	// Factors is the constraint collection F.
+	Factors []Factor
+
+	// factorsAt[v] caches the indices of factors whose scope contains v.
+	factorsAt [][]int
+}
+
+var (
+	// ErrAlphabet indicates a non-positive alphabet size.
+	ErrAlphabet = errors.New("gibbs: alphabet size must be positive")
+	// ErrScope indicates a factor scope referencing vertices outside the
+	// graph.
+	ErrScope = errors.New("gibbs: factor scope out of range")
+	// ErrInfeasible indicates that a configuration required to be feasible
+	// is not.
+	ErrInfeasible = errors.New("gibbs: infeasible configuration")
+)
+
+// NewSpec validates and returns a Gibbs specification, building the
+// per-vertex factor index.
+func NewSpec(g *graph.Graph, q int, factors []Factor) (*Spec, error) {
+	if q <= 0 {
+		return nil, ErrAlphabet
+	}
+	s := &Spec{G: g, Q: q, Factors: factors}
+	s.factorsAt = make([][]int, g.N())
+	for i, f := range factors {
+		if f.Eval == nil {
+			return nil, fmt.Errorf("gibbs: factor %d (%s) has nil Eval", i, f.Name)
+		}
+		if len(f.Scope) == 0 {
+			return nil, fmt.Errorf("gibbs: factor %d (%s) has empty scope", i, f.Name)
+		}
+		for _, v := range f.Scope {
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("%w: factor %d (%s) vertex %d", ErrScope, i, f.Name, v)
+			}
+			s.factorsAt[v] = append(s.factorsAt[v], i)
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of variables (vertices of G).
+func (s *Spec) N() int { return s.G.N() }
+
+// FactorsAt returns the indices of factors whose scope contains v. The slice
+// is shared internal state and must not be modified.
+func (s *Spec) FactorsAt(v int) []int {
+	if v < 0 || v >= len(s.factorsAt) {
+		return nil
+	}
+	return s.factorsAt[v]
+}
+
+// Locality returns ℓ = max over factors of the diameter of the factor scope
+// in G (Definition 2.4). The distribution is "local" when this is O(1); all
+// models shipped in internal/model have ℓ ≤ 1. Returns an error when some
+// scope spans disconnected parts of G.
+func (s *Spec) Locality() (int, error) {
+	ell := 0
+	for i, f := range s.Factors {
+		d := s.G.SetDiameter(f.Scope)
+		if d < 0 {
+			return 0, fmt.Errorf("gibbs: factor %d (%s) scope disconnected in G", i, f.Name)
+		}
+		if d > ell {
+			ell = d
+		}
+	}
+	return ell, nil
+}
+
+// evalFactor evaluates factor i on a configuration, requiring all scope
+// variables assigned; ok is false otherwise.
+func (s *Spec) evalFactor(i int, c dist.Config) (val float64, ok bool) {
+	f := s.Factors[i]
+	assign := make([]int, len(f.Scope))
+	for j, v := range f.Scope {
+		if v >= len(c) || c[v] == dist.Unset {
+			return 0, false
+		}
+		assign[j] = c[v]
+	}
+	return f.Eval(assign), true
+}
+
+// Weight returns w(σ) = Π f(σ_S) over all factors (equation (1) of the
+// paper). The configuration must be total.
+func (s *Spec) Weight(c dist.Config) (float64, error) {
+	if !c.IsTotal() {
+		return 0, errors.New("gibbs: Weight requires a total configuration")
+	}
+	w := 1.0
+	for i := range s.Factors {
+		val, ok := s.evalFactor(i, c)
+		if !ok {
+			return 0, errors.New("gibbs: factor scope unassigned")
+		}
+		w *= val
+		if w == 0 {
+			return 0, nil
+		}
+	}
+	return w, nil
+}
+
+// PartialWeight returns the product of the factors whose scopes are fully
+// assigned under the partial configuration σ (the quantity in Definition
+// 2.5 when σ's domain is Λ).
+func (s *Spec) PartialWeight(c dist.Config) float64 {
+	w := 1.0
+	for i := range s.Factors {
+		val, ok := s.evalFactor(i, c)
+		if !ok {
+			continue
+		}
+		w *= val
+		if w == 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// LocallyFeasible reports whether the partial configuration σ violates no
+// constraint that is fully contained in its assigned domain (Definition
+// 2.5).
+func (s *Spec) LocallyFeasible(c dist.Config) bool {
+	return s.PartialWeight(c) > 0
+}
+
+// LocallyFeasibleAt reports whether the constraints involving vertex v and
+// fully assigned under c are all satisfied. This suffices to check local
+// feasibility incrementally when extending a locally feasible configuration
+// at v.
+func (s *Spec) LocallyFeasibleAt(c dist.Config, v int) bool {
+	for _, i := range s.FactorsAt(v) {
+		val, ok := s.evalFactor(i, c)
+		if ok && val == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightRatioOnBall returns w(σ')/w(σ) where σ' and σ are total
+// configurations differing only inside the vertex set D. Only factors whose
+// scope intersects D contribute, mirroring equation (12) of the paper. The
+// denominator factors must be positive; an error is returned otherwise.
+func (s *Spec) WeightRatioOnBall(sigmaNew, sigmaOld dist.Config, d []int) (float64, error) {
+	inD := make(map[int]bool, len(d))
+	for _, v := range d {
+		inD[v] = true
+	}
+	touched := make(map[int]bool)
+	for _, v := range d {
+		for _, i := range s.FactorsAt(v) {
+			touched[i] = true
+		}
+	}
+	ratio := 1.0
+	for i := range touched {
+		num, ok1 := s.evalFactor(i, sigmaNew)
+		den, ok2 := s.evalFactor(i, sigmaOld)
+		if !ok1 || !ok2 {
+			return 0, errors.New("gibbs: weight ratio on partial configuration")
+		}
+		if den == 0 {
+			return 0, fmt.Errorf("%w: zero factor in ratio denominator", ErrInfeasible)
+		}
+		ratio *= num / den
+	}
+	return ratio, nil
+}
+
+// GreedyCompletion extends the partial configuration c to a total, locally
+// feasible configuration by scanning the free variables in increasing order
+// and assigning the smallest symbol that keeps the configuration locally
+// feasible. For locally admissible distributions (Definition 2.5) this
+// always produces a feasible configuration; it is the "sequential local
+// oblivious" construction of Remark 2.3. Returns an error when some vertex
+// has no locally feasible symbol.
+func (s *Spec) GreedyCompletion(c dist.Config) (dist.Config, error) {
+	out := c.Clone()
+	for v := 0; v < s.N(); v++ {
+		if out[v] != dist.Unset {
+			continue
+		}
+		done := false
+		for x := 0; x < s.Q; x++ {
+			out[v] = x
+			if s.LocallyFeasibleAt(out, v) {
+				done = true
+				break
+			}
+		}
+		if !done {
+			out[v] = dist.Unset
+			return nil, fmt.Errorf("%w: no locally feasible value at vertex %d", ErrInfeasible, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package glauber implements single-site Glauber dynamics (heat-bath
+// updates) for Gibbs distributions — the classical sequential MCMC sampler
+// that the paper's distributed samplers are measured against. Glauber
+// dynamics is the natural baseline: it is inherently sequential
+// (Θ(n log n) single-site updates even when rapidly mixing, and each update
+// conditions on the current global state), whereas the paper's point is
+// that in the uniqueness regime the same distributions admit O(polylog n)
+// *round* samplers with exact output. The package also provides mixing
+// diagnostics used by the ablation benchmarks.
+package glauber
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+)
+
+// Chain is a Glauber dynamics chain over a Gibbs instance: pinned vertices
+// never move; free vertices are resampled from their exact conditional
+// marginal given the rest of the current state.
+type Chain struct {
+	in    *gibbs.Instance
+	state dist.Config
+	free  []int
+	steps int
+}
+
+// ErrNoFeasibleStart indicates that no feasible initial state could be
+// constructed.
+var ErrNoFeasibleStart = errors.New("glauber: no feasible initial state")
+
+// New returns a chain started from the greedy feasible completion of the
+// instance pinning (for locally admissible distributions this always
+// exists).
+func New(in *gibbs.Instance) (*Chain, error) {
+	start, err := in.Spec.GreedyCompletion(in.Pinned)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
+	}
+	w, err := in.Spec.Weight(start)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 {
+		return nil, ErrNoFeasibleStart
+	}
+	return &Chain{in: in, state: start, free: in.FreeVertices()}, nil
+}
+
+// State returns a copy of the current configuration.
+func (c *Chain) State() dist.Config { return c.state.Clone() }
+
+// Steps returns the number of single-site updates performed.
+func (c *Chain) Steps() int { return c.steps }
+
+// conditional computes the heat-bath distribution of vertex v given the
+// current values of all other vertices: proportional to the product of the
+// factors containing v (all other factors cancel).
+func (c *Chain) conditional(v int) (dist.Dist, error) {
+	q := c.in.Q()
+	w := make([]float64, q)
+	saved := c.state[v]
+	for x := 0; x < q; x++ {
+		c.state[v] = x
+		wx := 1.0
+		for _, fi := range c.in.Spec.FactorsAt(v) {
+			f := c.in.Spec.Factors[fi]
+			assign := make([]int, len(f.Scope))
+			for j, u := range f.Scope {
+				assign[j] = c.state[u]
+			}
+			wx *= f.Eval(assign)
+			if wx == 0 {
+				break
+			}
+		}
+		w[x] = wx
+	}
+	c.state[v] = saved
+	d, err := dist.FromWeights(w)
+	if err != nil {
+		return nil, fmt.Errorf("glauber: conditional at %d: %w", v, err)
+	}
+	return d, nil
+}
+
+// Step performs one heat-bath update at a uniformly random free vertex.
+func (c *Chain) Step(rng *rand.Rand) error {
+	if len(c.free) == 0 {
+		c.steps++
+		return nil
+	}
+	v := c.free[rng.Intn(len(c.free))]
+	d, err := c.conditional(v)
+	if err != nil {
+		return err
+	}
+	c.state[v] = d.Sample(rng)
+	c.steps++
+	return nil
+}
+
+// Run performs k single-site updates.
+func (c *Chain) Run(k int, rng *rand.Rand) error {
+	for i := 0; i < k; i++ {
+		if err := c.Step(rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample runs a fresh chain for the given number of sweeps (n single-site
+// updates per sweep) and returns the final state — the standard approximate
+// MCMC sampler.
+func Sample(in *gibbs.Instance, sweeps int, rng *rand.Rand) (dist.Config, error) {
+	c, err := New(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(sweeps*maxInt(1, in.N()), rng); err != nil {
+		return nil, err
+	}
+	return c.State(), nil
+}
+
+// MixingPoint is one measurement of empirical mixing: TV distance between
+// the chain's marginal state distribution after `Sweeps` sweeps and the
+// exact distribution.
+type MixingPoint struct {
+	Sweeps int
+	TV     float64
+}
+
+// MeasureMixing estimates the TV distance between the chain's joint state
+// distribution after each sweep budget and the exact distribution, using
+// `trials` independent chains per budget (small instances only: needs the
+// brute-force referee).
+func MeasureMixing(in *gibbs.Instance, sweepBudgets []int, trials int, rng *rand.Rand) ([]MixingPoint, error) {
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		return nil, err
+	}
+	var out []MixingPoint
+	for _, sweeps := range sweepBudgets {
+		emp := dist.NewEmpirical(in.N())
+		for i := 0; i < trials; i++ {
+			cfg, err := Sample(in, sweeps, rng)
+			if err != nil {
+				return nil, err
+			}
+			emp.Observe(cfg)
+		}
+		got, err := emp.Joint()
+		if err != nil {
+			return nil, err
+		}
+		tv, err := dist.TVJoint(truth, got)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MixingPoint{Sweeps: sweeps, TV: tv})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package glauber
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func hardcoreInstance(t *testing.T, g *graph.Graph, lambda float64, pinned dist.Config) *gibbs.Instance {
+	t.Helper()
+	s, err := model.Hardcore(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestChainStaysFeasible(t *testing.T) {
+	g := graph.Cycle(8)
+	in := hardcoreInstance(t, g, 1.5, nil)
+	c, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 500; i++ {
+		if err := c.Step(rng); err != nil {
+			t.Fatal(err)
+		}
+		w, err := in.Spec.Weight(c.State())
+		if err != nil || w <= 0 {
+			t.Fatalf("step %d: infeasible state %v (w=%v err=%v)", i, c.State(), w, err)
+		}
+	}
+	if c.Steps() != 500 {
+		t.Errorf("steps = %d", c.Steps())
+	}
+}
+
+func TestChainRespectsPinning(t *testing.T) {
+	g := graph.Path(5)
+	pin := dist.Config{1, dist.Unset, dist.Unset, dist.Unset, 0}
+	in := hardcoreInstance(t, g, 1, pin)
+	c, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	if err := c.Run(300, rng); err != nil {
+		t.Fatal(err)
+	}
+	s := c.State()
+	if s[0] != 1 || s[4] != 0 {
+		t.Errorf("pinning violated: %v", s)
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	// On a rapidly mixing instance, long runs should match the Gibbs
+	// distribution.
+	g := graph.Cycle(5)
+	in := hardcoreInstance(t, g, 1.2, nil)
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(103))
+	emp := dist.NewEmpirical(5)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		cfg, err := Sample(in, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp.Observe(cfg)
+	}
+	got, err := emp.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := dist.TVJoint(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.05 {
+		t.Errorf("Glauber stationary TV = %v", tv)
+	}
+}
+
+func TestMeasureMixingMonotone(t *testing.T) {
+	g := graph.Cycle(6)
+	in := hardcoreInstance(t, g, 1, nil)
+	rng := rand.New(rand.NewSource(104))
+	points, err := MeasureMixing(in, []int{0, 4, 32}, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %v", points)
+	}
+	// TV after a long run must be far smaller than at the (deterministic)
+	// start.
+	if points[2].TV > 0.5*points[0].TV {
+		t.Errorf("mixing not observed: %v", points)
+	}
+}
+
+func TestNoFeasibleStart(t *testing.T) {
+	// 1-coloring of an edge cannot start.
+	g := graph.Path(2)
+	s, err := model.Coloring(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(in); err == nil {
+		t.Error("infeasible model started")
+	}
+}
+
+func TestFullyPinnedChain(t *testing.T) {
+	g := graph.Path(2)
+	in := hardcoreInstance(t, g, 1, dist.Config{0, 1})
+	c, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(105))
+	if err := c.Run(10, rng); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.State(); s[0] != 0 || s[1] != 1 {
+		t.Errorf("fully pinned chain moved: %v", s)
+	}
+}
+
+func TestColoringChain(t *testing.T) {
+	// Glauber on proper colorings with q ≥ Δ+2 is ergodic; check
+	// stationarity on a small instance.
+	s, err := model.Coloring(graph.Cycle(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.JointDistribution(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(106))
+	emp := dist.NewEmpirical(4)
+	for i := 0; i < 6000; i++ {
+		cfg, err := Sample(in, 15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp.Observe(cfg)
+	}
+	got, err := emp.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := dist.TVJoint(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.06 {
+		t.Errorf("coloring Glauber TV = %v", tv)
+	}
+}

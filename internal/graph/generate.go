@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph P_n: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Cycle returns the cycle graph C_n (n >= 3); for n < 3 it degenerates to a
+// path.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Grid returns the w x h grid graph. Vertex (x, y) has index y*w + x.
+func Grid(w, h int) *Graph {
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				g.MustAddEdge(v, v+1)
+			}
+			if y+1 < h {
+				g.MustAddEdge(v, v+w)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Torus returns the w x h torus (grid with wraparound). Requires w, h >= 3
+// for the result to be simple; smaller dimensions degrade to a grid with
+// whatever wrap edges remain simple.
+func Torus(w, h int) *Graph {
+	g := New(w * h)
+	at := func(x, y int) int { return ((y+h)%h)*w + (x+w)%w }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := at(x, y)
+			u1, u2 := at(x+1, y), at(x, y+1)
+			if u1 != v {
+				_ = g.AddEdge(v, u1)
+			}
+			if u2 != v {
+				_ = g.AddEdge(v, u2)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// CompleteTree returns the complete b-ary tree of the given depth (depth 0 is
+// a single root). The root is vertex 0 and children are laid out in BFS
+// order.
+func CompleteTree(b, depth int) *Graph {
+	if b < 1 {
+		b = 1
+	}
+	// Count vertices: 1 + b + b^2 + ... + b^depth.
+	n := 1
+	levelSize := 1
+	for d := 0; d < depth; d++ {
+		levelSize *= b
+		n += levelSize
+	}
+	g := New(n)
+	next := 1
+	for v := 0; v < n && next < n; v++ {
+		for c := 0; c < b && next < n; c++ {
+			g.MustAddEdge(v, next)
+			next++
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.MustAddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			if u == -1 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	g.MustAddEdge(u, w)
+	g.SortAdjacency()
+	return g
+}
+
+// ErdosRenyi returns a G(n, p) random graph.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// RandomRegular returns a random d-regular graph on n vertices using the
+// pairing model with restarts, rejecting self loops and parallel edges.
+// It returns an error if n*d is odd, d >= n, or a simple pairing is not
+// found within a generous retry budget.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: random regular requires 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular requires n*d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return New(n), nil
+	}
+	const maxAttempts = 2000
+	points := make([]int, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for i := range points {
+			points[i] = i
+		}
+		rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+		g := New(n)
+		ok := true
+		for i := 0; i+1 < len(points); i += 2 {
+			u, v := points[i]/d, points[i+1]/d
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v)
+		}
+		if ok {
+			g.SortAdjacency()
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: random regular pairing failed for n=%d d=%d", n, d)
+}
+
+// RandomBipartite returns a random bipartite graph with parts of size a and
+// b where each of the a*b candidate edges appears independently with
+// probability p. Left part is 0..a-1, right part is a..a+b-1.
+func RandomBipartite(a, b int, p float64, rng *rand.Rand) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(i, a+j)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// BoundedDegreeRandom returns a random connected graph with maximum degree
+// at most maxDeg: a random tree plus extra random edges subject to the
+// degree cap. Useful for generating workloads with a controlled Δ.
+func BoundedDegreeRandom(n, maxDeg, extraEdges int, rng *rand.Rand) *Graph {
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	// Random tree with bounded degree: attach each new vertex to a uniformly
+	// random earlier vertex that still has spare degree.
+	g := New(n)
+	for v := 1; v < n; v++ {
+		for {
+			u := rng.Intn(v)
+			if g.Degree(u) < maxDeg {
+				g.MustAddEdge(u, v)
+				break
+			}
+		}
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= maxDeg || g.Degree(v) >= maxDeg {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	g.SortAdjacency()
+	return g
+}

@@ -1,0 +1,304 @@
+// Package local simulates the LOCAL model of distributed computing
+// [Linial; Peleg 2000] as used in Section 2 of Feng & Yin, PODC 2018: a
+// synchronous message-passing network on a simple undirected graph, where in
+// each round every node exchanges (unbounded) messages with its neighbors
+// and performs unbounded local computation. Only the number of rounds is
+// charged.
+//
+// The simulator runs one goroutine per node in lock-step rounds. Because a
+// t-round LOCAL algorithm is information-theoretically equivalent to "each
+// node gathers everything within radius t, then computes" (Section 2 of the
+// paper), the package also provides Gather, which floods local views for t
+// rounds and hands each node its radius-t ball view.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Message is a point-to-point message delivered at the end of a round.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// StepFunc is executed by every node each round. It receives the round
+// number (starting at 0), the node's current private state, and the inbox of
+// messages delivered this round, and returns the new state, the outbox of
+// messages to deliver next round, and whether the node halts. Messages may
+// only be addressed to graph neighbors.
+type StepFunc func(node, round int, state any, inbox []Message) (newState any, outbox []Message, halt bool)
+
+// Network is a LOCAL-model network over a graph with per-node unique IDs.
+type Network struct {
+	G *graph.Graph
+	// IDs assigns each node a unique identifier; defaults to the node index.
+	IDs []int
+}
+
+// NewNetwork returns a network on g with IDs equal to node indices.
+func NewNetwork(g *graph.Graph) *Network {
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Network{G: g, IDs: ids}
+}
+
+var (
+	// ErrNotNeighbor indicates a message addressed to a non-neighbor.
+	ErrNotNeighbor = errors.New("local: message addressed to non-neighbor")
+	// ErrMaxRounds indicates the round budget was exhausted before all
+	// nodes halted.
+	ErrMaxRounds = errors.New("local: max rounds exceeded")
+)
+
+// Result is the outcome of a run.
+type Result struct {
+	// States holds each node's final state.
+	States []any
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+}
+
+// Run executes the network with one goroutine per node in synchronous
+// rounds until every node has halted or maxRounds is reached. init provides
+// each node's initial state.
+func (net *Network) Run(maxRounds int, init func(node int) any, step StepFunc) (*Result, error) {
+	n := net.G.N()
+	states := make([]any, n)
+	for v := 0; v < n; v++ {
+		states[v] = init(v)
+	}
+	halted := make([]bool, n)
+	inboxes := make([][]Message, n)
+	var (
+		mu      sync.Mutex
+		stepErr error
+	)
+	for round := 0; round < maxRounds; round++ {
+		allHalted := true
+		for v := 0; v < n; v++ {
+			if !halted[v] {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			return &Result{States: states, Rounds: round}, nil
+		}
+		next := make([][]Message, n)
+		var wg sync.WaitGroup
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				st, out, halt := step(v, round, states[v], inboxes[v])
+				mu.Lock()
+				defer mu.Unlock()
+				states[v] = st
+				halted[v] = halt
+				for _, msg := range out {
+					if msg.From != v || !net.G.HasEdge(v, msg.To) {
+						if stepErr == nil {
+							stepErr = fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, v, msg.To)
+						}
+						continue
+					}
+					next[msg.To] = append(next[msg.To], msg)
+				}
+			}(v)
+		}
+		wg.Wait()
+		if stepErr != nil {
+			return nil, stepErr
+		}
+		inboxes = next
+	}
+	for v := 0; v < n; v++ {
+		if !halted[v] {
+			return &Result{States: states, Rounds: maxRounds}, ErrMaxRounds
+		}
+	}
+	return &Result{States: states, Rounds: maxRounds}, nil
+}
+
+// BallView is the information a node has gathered after t rounds: the
+// induced topology, inputs, IDs and random seeds of every node within
+// distance t.
+type BallView struct {
+	// Center is the node that gathered the view.
+	Center int
+	// Radius is the gathering radius t.
+	Radius int
+	// Nodes lists the vertices in B_t(center), sorted.
+	Nodes []int
+	// Dist maps each vertex in the ball to its distance from the center.
+	Dist map[int]int
+	// Inputs maps each vertex in the ball to its local input.
+	Inputs map[int]any
+	// IDs maps each vertex in the ball to its unique ID.
+	IDs map[int]int
+	// Edges lists the edges of the induced subgraph on the ball.
+	Edges []graph.Edge
+}
+
+// nodeInfo is the unit of flooding: one node's local input, ID, and
+// incident edges.
+type nodeInfo struct {
+	node  int
+	id    int
+	input any
+	adj   []int
+}
+
+type gatherState struct {
+	known map[int]nodeInfo
+}
+
+// Gather runs the canonical t-round flooding algorithm: every node
+// broadcasts everything it knows each round; after t rounds node v knows
+// exactly the radius-t ball around it. It returns one BallView per node and
+// consumes exactly t rounds.
+func (net *Network) Gather(t int, inputs []any) ([]*BallView, int, error) {
+	n := net.G.N()
+	if t < 0 {
+		return nil, 0, errors.New("local: negative radius")
+	}
+	init := func(v int) any {
+		st := &gatherState{known: map[int]nodeInfo{}}
+		var in any
+		if inputs != nil {
+			in = inputs[v]
+		}
+		st.known[v] = nodeInfo{node: v, id: net.IDs[v], input: in, adj: net.G.NeighborsCopy(v)}
+		return st
+	}
+	step := func(v, round int, state any, inbox []Message) (any, []Message, bool) {
+		st, ok := state.(*gatherState)
+		if !ok {
+			return state, nil, true
+		}
+		for _, m := range inbox {
+			infos, ok := m.Payload.([]nodeInfo)
+			if !ok {
+				continue
+			}
+			for _, info := range infos {
+				if _, seen := st.known[info.node]; !seen {
+					st.known[info.node] = info
+				}
+			}
+		}
+		if round >= t {
+			return st, nil, true
+		}
+		// Broadcast current knowledge to all neighbors.
+		payload := make([]nodeInfo, 0, len(st.known))
+		for _, info := range st.known {
+			payload = append(payload, info)
+		}
+		out := make([]Message, 0, net.G.Degree(v))
+		for _, u := range net.G.Neighbors(v) {
+			out = append(out, Message{From: v, To: u, Payload: payload})
+		}
+		return st, out, false
+	}
+	res, err := net.Run(t+1, init, step)
+	if err != nil {
+		return nil, 0, err
+	}
+	views := make([]*BallView, n)
+	for v := 0; v < n; v++ {
+		st, ok := res.States[v].(*gatherState)
+		if !ok {
+			return nil, 0, fmt.Errorf("local: bad gather state at node %d", v)
+		}
+		views[v] = buildView(net, v, t, st)
+	}
+	return views, t, nil
+}
+
+func buildView(net *Network, v, t int, st *gatherState) *BallView {
+	bv := &BallView{
+		Center: v,
+		Radius: t,
+		Dist:   make(map[int]int),
+		Inputs: make(map[int]any),
+		IDs:    make(map[int]int),
+	}
+	// Distances are recomputed inside the known subgraph; flooding for t
+	// rounds guarantees the known set contains exactly B_t(v) (plus possibly
+	// adjacency pointers to outside vertices, which are ignored).
+	adj := make(map[int][]int, len(st.known))
+	for u, info := range st.known {
+		adj[u] = info.adj
+	}
+	bv.Dist[v] = 0
+	queue := []int{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if bv.Dist[u] == t {
+			continue
+		}
+		for _, w := range adj[u] {
+			if _, known := adj[w]; !known {
+				continue
+			}
+			if _, seen := bv.Dist[w]; !seen {
+				bv.Dist[w] = bv.Dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for u := range bv.Dist {
+		info := st.known[u]
+		bv.Nodes = append(bv.Nodes, u)
+		bv.Inputs[u] = info.input
+		bv.IDs[u] = info.id
+	}
+	sort.Ints(bv.Nodes)
+	seen := make(map[graph.Edge]bool)
+	for u := range bv.Dist {
+		for _, w := range st.known[u].adj {
+			if _, ok := bv.Dist[w]; !ok {
+				continue
+			}
+			e := graph.Edge{U: minInt(u, w), V: maxInt(u, w)}
+			if !seen[e] {
+				seen[e] = true
+				bv.Edges = append(bv.Edges, e)
+			}
+		}
+	}
+	sort.Slice(bv.Edges, func(i, j int) bool {
+		if bv.Edges[i].U != bv.Edges[j].U {
+			return bv.Edges[i].U < bv.Edges[j].U
+		}
+		return bv.Edges[i].V < bv.Edges[j].V
+	})
+	return bv
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

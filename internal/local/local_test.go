@@ -1,0 +1,177 @@
+package local
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunHaltsImmediately(t *testing.T) {
+	net := NewNetwork(graph.Path(3))
+	res, err := net.Run(10,
+		func(v int) any { return v },
+		func(v, round int, state any, inbox []Message) (any, []Message, bool) {
+			return state, nil, true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	for v, s := range res.States {
+		if s != v {
+			t.Errorf("state %d = %v", v, s)
+		}
+	}
+}
+
+func TestRunMessagePassing(t *testing.T) {
+	// Broadcast a token from node 0 along a path; node i should receive it
+	// at round i.
+	n := 5
+	net := NewNetwork(graph.Path(n))
+	type st struct{ got int }
+	res, err := net.Run(n+1,
+		func(v int) any {
+			if v == 0 {
+				return &st{got: 0}
+			}
+			return &st{got: -1}
+		},
+		func(v, round int, state any, inbox []Message) (any, []Message, bool) {
+			s := state.(*st)
+			for _, m := range inbox {
+				if s.got == -1 {
+					s.got = round
+				}
+				_ = m
+			}
+			var out []Message
+			if s.got >= 0 {
+				for _, u := range net.G.Neighbors(v) {
+					out = append(out, Message{From: v, To: u, Payload: "token"})
+				}
+			}
+			halt := s.got >= 0 && round >= n-1
+			return s, out, halt
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		s := res.States[v].(*st)
+		if s.got != v {
+			t.Errorf("node %d received token at round %d, want %d", v, s.got, v)
+		}
+	}
+}
+
+func TestRunRejectsNonNeighborMessages(t *testing.T) {
+	net := NewNetwork(graph.Path(3))
+	_, err := net.Run(3,
+		func(v int) any { return nil },
+		func(v, round int, state any, inbox []Message) (any, []Message, bool) {
+			if v == 0 {
+				return state, []Message{{From: 0, To: 2, Payload: "cheat"}}, true
+			}
+			return state, nil, true
+		})
+	if !errors.Is(err, ErrNotNeighbor) {
+		t.Errorf("err = %v, want ErrNotNeighbor", err)
+	}
+}
+
+func TestRunMaxRounds(t *testing.T) {
+	net := NewNetwork(graph.Path(2))
+	_, err := net.Run(3,
+		func(v int) any { return nil },
+		func(v, round int, state any, inbox []Message) (any, []Message, bool) {
+			return state, nil, false // never halt
+		})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Errorf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestGatherRadius(t *testing.T) {
+	g := graph.Cycle(8)
+	net := NewNetwork(g)
+	inputs := make([]any, 8)
+	for i := range inputs {
+		inputs[i] = i * 10
+	}
+	for _, r := range []int{0, 1, 2, 3} {
+		views, rounds, err := net.Gather(r, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != r {
+			t.Errorf("rounds = %d, want %d", rounds, r)
+		}
+		for v := 0; v < 8; v++ {
+			bv := views[v]
+			want := g.Ball(v, r)
+			if len(bv.Nodes) != len(want) {
+				t.Fatalf("radius %d node %d: ball %v, want %v", r, v, bv.Nodes, want)
+			}
+			for i := range want {
+				if bv.Nodes[i] != want[i] {
+					t.Fatalf("radius %d node %d: ball %v, want %v", r, v, bv.Nodes, want)
+				}
+			}
+			// Distances and inputs faithful.
+			for u, d := range bv.Dist {
+				if g.Dist(v, u) != d {
+					t.Errorf("view dist(%d,%d) = %d, want %d", v, u, d, g.Dist(v, u))
+				}
+				if bv.Inputs[u] != u*10 {
+					t.Errorf("input of %d = %v", u, bv.Inputs[u])
+				}
+				if bv.IDs[u] != u {
+					t.Errorf("ID of %d = %v", u, bv.IDs[u])
+				}
+			}
+		}
+	}
+}
+
+func TestGatherInducedEdges(t *testing.T) {
+	g := graph.Grid(3, 3)
+	net := NewNetwork(g)
+	views, _, err := net.Gather(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The center of the grid (vertex 4) sees its 4 incident edges at
+	// radius 1 (no edges among its neighbors in a grid).
+	bv := views[4]
+	if len(bv.Edges) != 4 {
+		t.Errorf("center ball edges = %v", bv.Edges)
+	}
+	for _, e := range bv.Edges {
+		if e.U != 4 && e.V != 4 {
+			t.Errorf("non-incident edge %v in radius-1 view", e)
+		}
+	}
+}
+
+func TestGatherNegativeRadius(t *testing.T) {
+	net := NewNetwork(graph.Path(2))
+	if _, _, err := net.Gather(-1, nil); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestGatherCustomIDs(t *testing.T) {
+	g := graph.Path(3)
+	net := &Network{G: g, IDs: []int{100, 200, 300}}
+	views, _, err := net.Gather(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views[1].IDs[0] != 100 || views[1].IDs[2] != 300 {
+		t.Errorf("IDs = %v", views[1].IDs)
+	}
+}

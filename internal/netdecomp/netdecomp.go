@@ -1,0 +1,328 @@
+// Package netdecomp implements randomized (O(log n), O(log n)) network
+// decompositions in the style of Linial–Saks ball carving, and the
+// chromatic scheduler that realizes Lemma 3.1 of Feng & Yin, PODC 2018 (the
+// SLOCAL-to-LOCAL transformation of Ghaffari, Kuhn and Maus): a LOCAL
+// algorithm computes a decomposition of the power graph G^(r+1), then
+// simulates a locality-r SLOCAL algorithm cluster by cluster in color order,
+// yielding time complexity O(r · C · D) = O(r log² n) with locally
+// certifiable failures of total expectation < 1/n².
+package netdecomp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Decomposition is a (colors, diameter) network decomposition: a partition
+// of the vertices into clusters, each assigned a color, such that clusters
+// of the same color are pairwise non-adjacent, the number of colors is at
+// most Colors, and every cluster has weak diameter at most Diameter.
+type Decomposition struct {
+	// Cluster[v] is the cluster index of vertex v.
+	Cluster []int
+	// Color[c] is the color of cluster c.
+	Color []int
+	// Members[c] lists the vertices of cluster c, sorted.
+	Members [][]int
+	// Colors is the number of colors used.
+	Colors int
+	// Diameter is the maximum weak diameter over clusters (measured in the
+	// decomposed graph).
+	Diameter int
+	// Failed[v] marks vertices whose cluster violated the promised bounds;
+	// these correspond to the locally certifiable failures F''_v of Lemma
+	// 3.1. Failure detection is local: a vertex sees its own cluster.
+	Failed []bool
+	// Rounds is the number of LOCAL rounds charged for constructing the
+	// decomposition distributively (on the decomposed graph).
+	Rounds int
+}
+
+// Params tunes the ball-carving construction.
+type Params struct {
+	// ColorBudget bounds the number of phases (colors); defaults to
+	// ceil(4·log2(n)) + 1.
+	ColorBudget int
+	// RadiusBudget bounds the carving radius per phase (cluster radius);
+	// defaults to ceil(2·log2(n)) + 1.
+	RadiusBudget int
+}
+
+func (p Params) withDefaults(n int) Params {
+	logn := int(math.Ceil(math.Log2(float64(n + 1))))
+	if logn < 1 {
+		logn = 1
+	}
+	if p.ColorBudget <= 0 {
+		p.ColorBudget = 4*logn + 1
+	}
+	if p.RadiusBudget <= 0 {
+		p.RadiusBudget = 2*logn + 1
+	}
+	return p
+}
+
+// ErrEmptyGraph indicates a decomposition request on an empty graph.
+var ErrEmptyGraph = errors.New("netdecomp: empty graph")
+
+// BallCarving computes a randomized (O(log n), O(log n)) decomposition of g
+// by Linial–Saks ball carving: in each phase, every live vertex draws a
+// radius from a truncated geometric distribution; every live vertex joins
+// the ball of the live vertex with the largest (radius − distance, ID) that
+// covers it, and the vertices strictly inside their chosen ball are carved
+// out as clusters of the current color. Each phase removes at least half of
+// the live vertices in expectation, so O(log n) phases suffice with high
+// probability; leftover live vertices after the color budget are marked
+// Failed.
+func BallCarving(g *graph.Graph, p Params, rng *rand.Rand) (*Decomposition, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	p = p.withDefaults(n)
+	d := &Decomposition{
+		Cluster: make([]int, n),
+		Failed:  make([]bool, n),
+	}
+	for v := range d.Cluster {
+		d.Cluster[v] = -1
+	}
+	live := make([]bool, n)
+	liveCount := n
+	for v := range live {
+		live[v] = true
+	}
+	for phase := 0; phase < p.ColorBudget && liveCount > 0; phase++ {
+		// Each live vertex draws a truncated geometric radius: r_v counts
+		// fair-coin successes, capped at RadiusBudget.
+		radius := make([]int, n)
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			r := 0
+			for r < p.RadiusBudget && rng.Intn(2) == 0 {
+				r++
+			}
+			radius[v] = r
+		}
+		// Every live vertex computes distances to live candidates within the
+		// radius budget (a 2·RadiusBudget-round LOCAL computation on the
+		// carved graph).
+		owner := make([]int, n)
+		interior := make([]bool, n)
+		for v := range owner {
+			owner[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			// Winner rule (classic Linial–Saks): among the live candidates u
+			// whose ball covers v (dist(u, v) <= r_u in the live graph), the
+			// one with the largest ID wins. v is carved this phase iff it
+			// lies strictly inside the winner's ball. If adjacent vertices v
+			// and w are both carved, the max-ID winner of v also covers w
+			// (its distance grows by at most one), so both pick the same
+			// owner — which is what makes same-color clusters non-adjacent.
+			bestID := -1
+			bestInterior := false
+			for u, du := range liveBallDist(g, live, v, p.RadiusBudget) {
+				if !live[u] || radius[u] < du {
+					continue
+				}
+				if u > bestID {
+					bestID = u
+					bestInterior = radius[u] > du
+				}
+			}
+			owner[v] = bestID
+			interior[v] = bestInterior
+		}
+		// Interior vertices of each ball form a cluster of this phase's
+		// color; boundary vertices stay live for later phases.
+		byOwner := make(map[int][]int)
+		for v := 0; v < n; v++ {
+			if live[v] && owner[v] >= 0 && interior[v] {
+				byOwner[owner[v]] = append(byOwner[owner[v]], v)
+			}
+		}
+		owners := make([]int, 0, len(byOwner))
+		for o := range byOwner {
+			owners = append(owners, o)
+		}
+		sort.Ints(owners)
+		for _, o := range owners {
+			members := byOwner[o]
+			sort.Ints(members)
+			c := len(d.Members)
+			d.Members = append(d.Members, members)
+			d.Color = append(d.Color, phase)
+			for _, v := range members {
+				d.Cluster[v] = c
+				live[v] = false
+				liveCount--
+			}
+		}
+		if phase+1 > d.Colors {
+			d.Colors = phase + 1
+		}
+		// Each phase costs O(RadiusBudget) rounds: radius draws are local,
+		// ball discovery floods to distance RadiusBudget, and carving
+		// decisions flow back.
+		d.Rounds += 2*p.RadiusBudget + 1
+	}
+	for v := 0; v < n; v++ {
+		if d.Cluster[v] == -1 {
+			d.Failed[v] = true
+			// Failed vertices form singleton clusters, each with its own
+			// fresh color, so downstream schedulers can still place them
+			// deterministically and the color-class independence invariant
+			// holds unconditionally.
+			c := len(d.Members)
+			d.Members = append(d.Members, []int{v})
+			d.Color = append(d.Color, d.Colors)
+			d.Cluster[v] = c
+			d.Colors++
+		}
+	}
+	// Measure the realized maximum weak cluster diameter.
+	for _, members := range d.Members {
+		if dd := g.SetDiameter(members); dd > d.Diameter {
+			d.Diameter = dd
+		}
+	}
+	return d, nil
+}
+
+// liveBallDist returns distances from v to vertices within the given radius
+// using only live intermediate vertices (carving happens in the graph
+// induced by live vertices).
+func liveBallDist(g *graph.Graph, live []bool, v, r int) map[int]int {
+	dist := map[int]int{v: 0}
+	queue := []int{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == r {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if !live[w] {
+				continue
+			}
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Validate checks the structural guarantees of the decomposition on g:
+// clusters partition the vertex set, same-color clusters are non-adjacent,
+// and non-failed clusters obey the diameter bound.
+func (d *Decomposition) Validate(g *graph.Graph, maxDiameter int) error {
+	n := g.N()
+	if len(d.Cluster) != n {
+		return fmt.Errorf("netdecomp: cluster array length %d != n %d", len(d.Cluster), n)
+	}
+	seen := make([]bool, n)
+	for c, members := range d.Members {
+		for _, v := range members {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("netdecomp: vertex %d repeated or out of range in cluster %d", v, c)
+			}
+			seen[v] = true
+			if d.Cluster[v] != c {
+				return fmt.Errorf("netdecomp: vertex %d cluster mismatch", v)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			return fmt.Errorf("netdecomp: vertex %d unassigned", v)
+		}
+	}
+	// Same-color clusters must be non-adjacent in g.
+	for _, e := range g.Edges() {
+		cu, cv := d.Cluster[e.U], d.Cluster[e.V]
+		if cu != cv && d.Color[cu] == d.Color[cv] {
+			return fmt.Errorf("netdecomp: same-color adjacent clusters %d, %d via edge (%d,%d)", cu, cv, e.U, e.V)
+		}
+	}
+	if maxDiameter > 0 {
+		for c, members := range d.Members {
+			failed := false
+			for _, v := range members {
+				if d.Failed[v] {
+					failed = true
+				}
+			}
+			if failed {
+				continue
+			}
+			if dd := g.SetDiameter(members); dd > maxDiameter {
+				return fmt.Errorf("netdecomp: cluster %d diameter %d exceeds %d", c, dd, maxDiameter)
+			}
+		}
+	}
+	return nil
+}
+
+// FailureCount returns the number of failed vertices.
+func (d *Decomposition) FailureCount() int {
+	c := 0
+	for _, f := range d.Failed {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// ScheduleOrder returns the node processing order induced by the chromatic
+// scheduler: clusters sorted by (color, smallest member), members in
+// increasing vertex order within a cluster. Simulating an SLOCAL algorithm
+// along this order, color class by color class, is exactly the parallel
+// simulation of Lemma 3.1 — same-color clusters are non-adjacent in the
+// decomposed power graph, so their sequential scans do not interact and the
+// joint output distribution equals the sequential run on this ordering.
+func (d *Decomposition) ScheduleOrder() []int {
+	type clusterKey struct {
+		color, minV, idx int
+	}
+	keys := make([]clusterKey, 0, len(d.Members))
+	for c, members := range d.Members {
+		if len(members) == 0 {
+			continue
+		}
+		keys = append(keys, clusterKey{color: d.Color[c], minV: members[0], idx: c})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].color != keys[j].color {
+			return keys[i].color < keys[j].color
+		}
+		return keys[i].minV < keys[j].minV
+	})
+	var order []int
+	for _, k := range keys {
+		order = append(order, d.Members[k.idx]...)
+	}
+	return order
+}
+
+// SimulationRounds returns the LOCAL round complexity charged for simulating
+// a locality-r SLOCAL algorithm through this decomposition of G^(r+1):
+// construction rounds (scaled by r+1 because the decomposition is computed
+// on the power graph) plus C·(D+1)·(r+1) rounds of chromatic scheduling.
+func (d *Decomposition) SimulationRounds(r int) int {
+	scale := r + 1
+	return d.Rounds*scale + d.Colors*(d.Diameter+1)*scale
+}
