@@ -1,0 +1,122 @@
+// Package dist is the probability kernel shared by every layer of the
+// reproduction: partial configurations (pinned assignments with an Unset
+// sentinel), finite distributions over a symbol alphabet, sparse joint
+// distributions over configurations, empirical estimators, and the error
+// combinators (total variation, multiplicative error, sampling-noise
+// envelopes) that the paper's reductions and experiments are stated in.
+//
+// Everything upstream — the Gibbs machinery, the brute-force referee, the
+// correlation-decay oracles, the reductions of Sections 3–5 and the
+// experiment suite — imports this package and nothing in this package
+// imports anything above it.
+package dist
+
+// Unset marks a vertex that carries no pinned value in a partial
+// configuration. Symbols are always nonnegative, so -1 is unambiguous.
+const Unset = -1
+
+// Config is a (partial) configuration: Config[v] is the symbol assigned to
+// vertex v, or Unset when v is free. A configuration with no Unset entries
+// is "total".
+type Config []int
+
+// NewConfig returns the empty partial configuration on n vertices (all
+// entries Unset).
+func NewConfig(n int) Config {
+	c := make(Config, n)
+	for i := range c {
+		c[i] = Unset
+	}
+	return c
+}
+
+// Clone returns an independent copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// IsTotal reports whether every vertex is assigned.
+func (c Config) IsTotal() bool {
+	for _, x := range c {
+		if x == Unset {
+			return false
+		}
+	}
+	return true
+}
+
+// Assigned returns the vertices carrying a value, in increasing order.
+func (c Config) Assigned() []int {
+	var out []int
+	for v, x := range c {
+		if x != Unset {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Free returns the unassigned vertices, in increasing order.
+func (c Config) Free() []int {
+	var out []int
+	for v, x := range c {
+		if x == Unset {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Merge returns the union of the receiver and base: base's values filled in
+// wherever the receiver is Unset, the receiver winning on conflicts. The
+// result has the length of the longer configuration.
+func (c Config) Merge(base Config) Config {
+	n := len(c)
+	if len(base) > n {
+		n = len(base)
+	}
+	out := NewConfig(n)
+	copy(out, base)
+	for v, x := range c {
+		if x != Unset {
+			out[v] = x
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two configurations have the same length and
+// agree everywhere (Unset included).
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for v, x := range c {
+		if x != o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffersAt returns the vertices at which the two configurations disagree,
+// in increasing order. Positions beyond the shorter configuration count as
+// disagreements.
+func (c Config) DiffersAt(o Config) []int {
+	var out []int
+	long := c
+	if len(o) > len(long) {
+		long = o
+	}
+	for v := range long {
+		switch {
+		case v >= len(c) || v >= len(o):
+			out = append(out, v)
+		case c[v] != o[v]:
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromWeightsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		w       []float64
+		want    Dist
+		wantErr bool
+	}{
+		{name: "empty", w: nil, wantErr: true},
+		{name: "all zero", w: []float64{0, 0, 0}, wantErr: true},
+		{name: "negative", w: []float64{1, -0.5}, wantErr: true},
+		{name: "NaN", w: []float64{1, math.NaN()}, wantErr: true},
+		{name: "Inf", w: []float64{math.Inf(1), 1}, wantErr: true},
+		{name: "finite weights overflow the total", w: []float64{math.MaxFloat64, math.MaxFloat64}, wantErr: true},
+		{name: "single support point", w: []float64{0, 3, 0}, want: Dist{0, 1, 0}},
+		{name: "normalizes", w: []float64{1, 3}, want: Dist{0.25, 0.75}},
+		{name: "already normal", w: []float64{0.5, 0.5}, want: Dist{0.5, 0.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := FromWeights(c.w)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("FromWeights(%v) = %v, want error", c.w, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FromWeights(%v): %v", c.w, err)
+			}
+			if err := got.Validate(1e-12); err != nil {
+				t.Fatal(err)
+			}
+			for i := range c.want {
+				if math.Abs(got[i]-c.want[i]) > 1e-12 {
+					t.Fatalf("FromWeights(%v) = %v, want %v", c.w, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestAllZeroWeightsIsErrZeroMass(t *testing.T) {
+	if _, err := FromWeights([]float64{0, 0}); !errors.Is(err, ErrZeroMass) {
+		t.Fatalf("want ErrZeroMass, got %v", err)
+	}
+}
+
+func TestMixTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Dist
+		w       float64
+		want    Dist
+		wantErr bool
+	}{
+		{name: "length mismatch", a: Dist{1}, b: Dist{0.5, 0.5}, w: 0.5, wantErr: true},
+		{name: "weight below range", a: Dist{1, 0}, b: Dist{0, 1}, w: -0.1, wantErr: true},
+		{name: "weight above range", a: Dist{1, 0}, b: Dist{0, 1}, w: 1.1, wantErr: true},
+		{name: "weight zero keeps a", a: Dist{0.3, 0.7}, b: Dist{1, 0}, w: 0, want: Dist{0.3, 0.7}},
+		{name: "weight one takes b", a: Dist{0.3, 0.7}, b: Dist{1, 0}, w: 1, want: Dist{1, 0}},
+		{name: "point masses blend", a: Dist{1, 0}, b: Dist{0, 1}, w: 0.25, want: Dist{0.75, 0.25}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Mix(c.a, c.b, c.w)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Mix = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(1e-12); err != nil {
+				t.Fatal(err)
+			}
+			for i := range c.want {
+				if math.Abs(got[i]-c.want[i]) > 1e-12 {
+					t.Fatalf("Mix = %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestMultErrTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Dist
+		want    float64
+		wantInf bool
+		wantErr bool
+	}{
+		{name: "length mismatch", a: Dist{1}, b: Dist{0.5, 0.5}, wantErr: true},
+		{name: "identical", a: Dist{0.25, 0.75}, b: Dist{0.25, 0.75}, want: 0},
+		{name: "same single support point", a: Dist{0, 1}, b: Dist{0, 1}, want: 0},
+		{name: "disjoint support", a: Dist{1, 0}, b: Dist{0, 1}, wantInf: true},
+		{name: "one-sided zero", a: Dist{0.5, 0.5}, b: Dist{0, 1}, wantInf: true},
+		{name: "factor of two", a: Dist{0.5, 0.5}, b: Dist{0.25, 0.75}, want: math.Log(2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := MultErr(c.a, c.b)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("MultErr = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.wantInf {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("MultErr = %v, want +Inf", got)
+				}
+				return
+			}
+			if math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("MultErr = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestTV(t *testing.T) {
+	if _, err := TV(Dist{1}, Dist{0.5, 0.5}); err == nil {
+		t.Error("TV accepted mismatched alphabets")
+	}
+	tv, err := TV(Dist{1, 0}, Dist{0, 1})
+	if err != nil || tv != 1 {
+		t.Errorf("TV of disjoint point masses = %v, %v", tv, err)
+	}
+	tv, err = TV(Dist{0.5, 0.5}, Dist{0.5, 0.5})
+	if err != nil || tv != 0 {
+		t.Errorf("TV of equal dists = %v, %v", tv, err)
+	}
+}
+
+func TestPointUniformArgMaxSample(t *testing.T) {
+	p := Point(3, 1)
+	if p.ArgMax() != 1 {
+		t.Errorf("Point ArgMax = %d", p.ArgMax())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if p.Sample(rng) != 1 {
+			t.Fatal("Point sampled off-support")
+		}
+	}
+	u := Uniform(4)
+	if err := u.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[u.Sample(rng)]++
+	}
+	for x, c := range counts {
+		if f := float64(c) / trials; math.Abs(f-0.25) > 0.02 {
+			t.Errorf("uniform sample frequency of %d = %v", x, f)
+		}
+	}
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := NewConfig(4)
+	if c.IsTotal() || len(c.Assigned()) != 0 || len(c.Free()) != 4 {
+		t.Fatalf("fresh config wrong: %v", c)
+	}
+	c[1] = 2
+	clone := c.Clone()
+	clone[1] = 3
+	if c[1] != 2 {
+		t.Error("Clone aliases the original")
+	}
+	if got := c.Assigned(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Assigned = %v", got)
+	}
+	base := Config{0, 0, 0, 0}
+	merged := c.Merge(base)
+	if want := (Config{0, 2, 0, 0}); !merged.Equal(want) {
+		t.Errorf("Merge = %v, want %v", merged, want)
+	}
+	if !merged.IsTotal() {
+		t.Error("merged config should be total")
+	}
+	a := Config{1, 0, 1}
+	b := Config{1, 1, 0}
+	if a.Equal(b) {
+		t.Error("unequal configs reported equal")
+	}
+	if diff := a.DiffersAt(b); len(diff) != 2 || diff[0] != 1 || diff[1] != 2 {
+		t.Errorf("DiffersAt = %v", diff)
+	}
+}
+
+func TestJointNormalizeProbMarginal(t *testing.T) {
+	j := NewJoint(2)
+	cfg := Config{0, 0}
+	j.Add(cfg, 1)
+	cfg[1] = 1 // reuse the slice: Add must have copied it
+	j.Add(cfg, 3)
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if err := j.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Prob(Config{0, 0}); math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v", p)
+	}
+	if p := j.Prob(Config{1, 1}); p != 0 {
+		t.Errorf("off-support Prob = %v", p)
+	}
+	m, err := j.Marginal(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[1]-0.75) > 1e-12 {
+		t.Errorf("marginal = %v", m)
+	}
+	if _, err := j.Marginal(5, 2); err == nil {
+		t.Error("out-of-range marginal accepted")
+	}
+	// Zero-mass table refuses to normalize.
+	empty := NewJoint(2)
+	if err := empty.Normalize(); !errors.Is(err, ErrZeroMass) {
+		t.Errorf("empty Normalize err = %v", err)
+	}
+	// Finite additions whose total overflows poison the table loudly.
+	over := NewJoint(1)
+	over.Add(Config{0}, math.MaxFloat64)
+	over.Add(Config{0}, math.MaxFloat64)
+	if err := over.Normalize(); err == nil {
+		t.Error("overflowing joint normalized silently")
+	}
+}
+
+func TestTVJoint(t *testing.T) {
+	a := NewJoint(1)
+	a.Add(Config{0}, 1)
+	a.Add(Config{1}, 1)
+	b := NewJoint(1)
+	b.Add(Config{1}, 1)
+	b.Add(Config{2}, 1)
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	tv, err := TVJoint(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tv-0.5) > 1e-12 {
+		t.Errorf("TVJoint = %v, want 0.5", tv)
+	}
+	mismatch := NewJoint(2)
+	mismatch.Add(Config{0, 0}, 1)
+	if _, err := TVJoint(a, mismatch); err == nil {
+		t.Error("TVJoint accepted mismatched vertex counts")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	e := NewEmpirical(2)
+	if _, err := e.Joint(); !errors.Is(err, ErrZeroMass) {
+		t.Errorf("empty Joint err = %v", err)
+	}
+	e.Observe(Config{0, 1})
+	e.Observe(Config{0, 1})
+	e.Observe(Config{1, 0})
+	if e.Total() != 3 {
+		t.Fatalf("Total = %d", e.Total())
+	}
+	j, err := e.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Prob(Config{0, 1}); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("Prob = %v", p)
+	}
+	m, err := e.Marginal(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-2.0/3) > 1e-12 {
+		t.Errorf("Marginal = %v", m)
+	}
+	// A partial observation poisons the estimator loudly, not silently.
+	bad := NewEmpirical(2)
+	bad.Observe(Config{0, Unset})
+	if _, err := bad.Joint(); err == nil {
+		t.Error("partial observation accepted")
+	}
+}
+
+func TestExpectedTVNoise(t *testing.T) {
+	if n := ExpectedTVNoise(10, 0); n != 1 {
+		t.Errorf("no samples noise = %v", n)
+	}
+	if n := ExpectedTVNoise(1000, 10); n != 1 {
+		t.Errorf("clamp failed: %v", n)
+	}
+	big := ExpectedTVNoise(16, 100)
+	small := ExpectedTVNoise(16, 100000)
+	if small >= big {
+		t.Errorf("noise should shrink with samples: %v vs %v", small, big)
+	}
+	if small <= 0 {
+		t.Errorf("noise must stay positive: %v", small)
+	}
+}
+
+func TestJointSampleMatchesWeights(t *testing.T) {
+	j := NewJoint(1)
+	j.Add(Config{0}, 3)
+	j.Add(Config{1}, 1)
+	rng := rand.New(rand.NewSource(5))
+	counts := map[int]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		c, err := j.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[c[0]]++
+	}
+	if f := float64(counts[0]) / trials; math.Abs(f-0.75) > 0.02 {
+		t.Errorf("sample frequency = %v, want 0.75", f)
+	}
+}

@@ -1,0 +1,66 @@
+package dist
+
+import "fmt"
+
+// Empirical accumulates observed total configurations (sampler outputs)
+// into an empirical distribution, the estimator every statistical exactness
+// check compares against brute-force truth.
+type Empirical struct {
+	table *Joint
+	count int
+	err   error
+}
+
+// NewEmpirical returns an empty estimator for configurations of n vertices.
+func NewEmpirical(n int) *Empirical {
+	return &Empirical{table: NewJoint(n)}
+}
+
+// Observe records one observed configuration. Partial or wrong-length
+// observations are recorded as an error surfaced by Joint and Marginal, so
+// the hot sampling loops stay unconditional.
+func (e *Empirical) Observe(c Config) {
+	if e.err != nil {
+		return
+	}
+	if len(c) != e.table.n {
+		e.err = fmt.Errorf("dist: observed config of length %d, want %d", len(c), e.table.n)
+		return
+	}
+	if !c.IsTotal() {
+		e.err = fmt.Errorf("dist: observed partial configuration")
+		return
+	}
+	e.table.Add(c, 1)
+	e.count++
+}
+
+// Total returns the number of observations.
+func (e *Empirical) Total() int { return e.count }
+
+// Joint returns the normalized empirical joint distribution.
+func (e *Empirical) Joint() (*Joint, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.count == 0 {
+		return nil, ErrZeroMass
+	}
+	out := NewJoint(e.table.n)
+	for i, c := range e.table.configs {
+		out.Add(c, e.table.weights[i])
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Marginal returns the empirical marginal of vertex v over the alphabet
+// 0..q-1.
+func (e *Empirical) Marginal(v, q int) (Dist, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.table.Marginal(v, q)
+}

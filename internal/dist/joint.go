@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Joint is a sparse distribution over total configurations of n vertices,
+// stored as a weight table. Build it with Add and finish with Normalize;
+// support order is insertion order, so deterministic producers (the
+// enumeration referee) yield deterministic tables.
+type Joint struct {
+	n       int
+	index   map[string]int
+	configs []Config
+	weights []float64
+	total   float64
+	err     error
+}
+
+// NewJoint returns an empty joint table over configurations of n vertices.
+func NewJoint(n int) *Joint {
+	return &Joint{n: n, index: make(map[string]int)}
+}
+
+// key encodes a configuration for table lookup.
+func key(c Config) string {
+	buf := make([]byte, 0, 2*len(c))
+	for _, x := range c {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return string(buf)
+}
+
+// Add accumulates weight w onto configuration c. The configuration is
+// copied, so callers may reuse the slice between calls (the enumeration
+// visitors do). Invalid additions (wrong length, negative or non-finite
+// weight) are recorded and surfaced by Normalize.
+func (j *Joint) Add(c Config, w float64) {
+	if j.err != nil {
+		return
+	}
+	if len(c) != j.n {
+		j.err = fmt.Errorf("dist: joint over %d vertices given config of length %d", j.n, len(c))
+		return
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		j.err = fmt.Errorf("dist: joint weight %v", w)
+		return
+	}
+	if w == 0 {
+		return
+	}
+	k := key(c)
+	i, ok := j.index[k]
+	if !ok {
+		i = len(j.configs)
+		j.index[k] = i
+		j.configs = append(j.configs, c.Clone())
+		j.weights = append(j.weights, 0)
+	}
+	j.weights[i] += w
+	j.total += w
+	if math.IsInf(j.total, 0) {
+		j.err = fmt.Errorf("dist: joint total mass overflows to +Inf")
+	}
+}
+
+// N returns the number of vertices the configurations range over.
+func (j *Joint) N() int { return j.n }
+
+// Len returns the support size (configurations of positive weight).
+func (j *Joint) Len() int { return len(j.configs) }
+
+// Total returns the unnormalized total mass (1 after Normalize).
+func (j *Joint) Total() float64 { return j.total }
+
+// Normalize scales the table to total mass 1. It reports any invalid Add
+// recorded earlier, and ErrZeroMass when nothing carries positive weight
+// (an infeasible pinning at the enumeration referee). Idempotent.
+func (j *Joint) Normalize() error {
+	if j.err != nil {
+		return j.err
+	}
+	if j.total <= 0 {
+		return ErrZeroMass
+	}
+	if j.total == 1 {
+		return nil
+	}
+	for i := range j.weights {
+		j.weights[i] /= j.total
+	}
+	j.total = 1
+	return nil
+}
+
+// Prob returns the probability (or, before Normalize, the mass fraction) of
+// configuration c; 0 when c is outside the support.
+func (j *Joint) Prob(c Config) float64 {
+	if j.total <= 0 || len(c) != j.n {
+		return 0
+	}
+	i, ok := j.index[key(c)]
+	if !ok {
+		return 0
+	}
+	return j.weights[i] / j.total
+}
+
+// Support returns the configurations of positive weight in insertion order.
+// The slice and its entries are shared internal state and must not be
+// modified.
+func (j *Joint) Support() []Config { return j.configs }
+
+// Sample draws a configuration proportionally to its weight. The returned
+// configuration is a copy.
+func (j *Joint) Sample(rng *rand.Rand) (Config, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	if j.total <= 0 || len(j.configs) == 0 {
+		return nil, ErrZeroMass
+	}
+	u := rng.Float64() * j.total
+	acc := 0.0
+	last := -1
+	for i, w := range j.weights {
+		if w <= 0 {
+			continue
+		}
+		last = i
+		acc += w
+		if u < acc {
+			return j.configs[i].Clone(), nil
+		}
+	}
+	return j.configs[last].Clone(), nil
+}
+
+// Marginal returns the marginal distribution of vertex v over the alphabet
+// 0..q-1.
+func (j *Joint) Marginal(v, q int) (Dist, error) {
+	if v < 0 || v >= j.n {
+		return nil, fmt.Errorf("dist: marginal vertex %d outside 0..%d", v, j.n-1)
+	}
+	if q <= 0 {
+		return nil, fmt.Errorf("dist: marginal over alphabet %d", q)
+	}
+	if j.err != nil {
+		return nil, j.err
+	}
+	w := make([]float64, q)
+	for i, c := range j.configs {
+		if x := c[v]; x < 0 || x >= q {
+			return nil, fmt.Errorf("dist: symbol %d at vertex %d outside alphabet %d", x, v, q)
+		} else {
+			w[x] += j.weights[i]
+		}
+	}
+	return FromWeights(w)
+}
+
+// TVJoint returns the total variation distance ½·Σ_σ |a(σ) − b(σ)| between
+// two joint tables over the same vertex set, summing over the union of
+// supports.
+func TVJoint(a, b *Joint) (float64, error) {
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("dist: TVJoint of nil table")
+	}
+	if a.n != b.n {
+		return 0, fmt.Errorf("dist: TVJoint over %d and %d vertices", a.n, b.n)
+	}
+	if a.err != nil {
+		return 0, a.err
+	}
+	if b.err != nil {
+		return 0, b.err
+	}
+	if a.total <= 0 || b.total <= 0 {
+		return 0, ErrZeroMass
+	}
+	s := 0.0
+	for i, c := range a.configs {
+		s += math.Abs(a.weights[i]/a.total - b.Prob(c))
+	}
+	for i, c := range b.configs {
+		if _, seen := a.index[key(c)]; !seen {
+			s += b.weights[i] / b.total
+		}
+	}
+	return s / 2, nil
+}

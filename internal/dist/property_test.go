@@ -1,0 +1,103 @@
+package dist_test
+
+// Cross-layer property test: the empirical estimator, fed exact samples,
+// lands within the ExpectedTVNoise envelope of the brute-force joint
+// distribution. This pins the noise envelope to reality — every "TV within
+// sampling noise ⇒ exact" conclusion in the experiment suite rests on it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func TestEmpiricalTracksExactJointWithinNoise(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		lambda float64
+		trials int
+	}{
+		{name: "cycle8", g: graph.Cycle(8), lambda: 1.2, trials: 20000},
+		{name: "path6", g: graph.Path(6), lambda: 2.0, trials: 10000},
+		{name: "grid3x3", g: graph.Grid(3, 3), lambda: 0.8, trials: 20000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := model.Hardcore(c.g, c.lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := gibbs.NewInstance(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := exact.JointDistribution(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				emp := dist.NewEmpirical(c.g.N())
+				for i := 0; i < c.trials; i++ {
+					cfg, err := truth.Sample(rng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					emp.Observe(cfg)
+				}
+				got, err := emp.Joint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tv, err := dist.TVJoint(truth, got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				envelope := dist.ExpectedTVNoise(truth.Len(), emp.Total())
+				if tv > envelope {
+					t.Errorf("seed %d: TV %v exceeds noise envelope %v (support %d, samples %d)",
+						seed, tv, envelope, truth.Len(), emp.Total())
+				}
+				// The envelope must also be honest work, not a blank check:
+				// the measured TV should not be vanishingly far below it.
+				if tv < envelope/100 {
+					t.Errorf("seed %d: TV %v suspiciously far below envelope %v", seed, tv, envelope)
+				}
+			}
+			// Empirical marginals agree with exact marginals within the
+			// (much tighter) per-vertex noise.
+			rng := rand.New(rand.NewSource(99))
+			emp := dist.NewEmpirical(c.g.N())
+			for i := 0; i < c.trials; i++ {
+				cfg, err := truth.Sample(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emp.Observe(cfg)
+			}
+			for v := 0; v < c.g.N(); v++ {
+				got, err := emp.Marginal(v, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := exact.Marginal(in, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tv, err := dist.TV(got, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if margin := dist.ExpectedTVNoise(2, c.trials); tv > margin {
+					t.Errorf("vertex %d: marginal TV %v exceeds %v", v, tv, margin)
+				}
+			}
+		})
+	}
+}

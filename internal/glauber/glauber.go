@@ -122,7 +122,7 @@ func Sample(in *gibbs.Instance, sweeps int, rng *rand.Rand) (dist.Config, error)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Run(sweeps*maxInt(1, in.N()), rng); err != nil {
+	if err := c.Run(sweeps*max(1, in.N()), rng); err != nil {
 		return nil, err
 	}
 	return c.State(), nil
@@ -166,11 +166,4 @@ func MeasureMixing(in *gibbs.Instance, sweepBudgets []int, trials int, rng *rand
 		out = append(out, MixingPoint{Sweeps: sweeps, TV: tv})
 	}
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

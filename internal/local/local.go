@@ -5,7 +5,9 @@
 // and performs unbounded local computation. Only the number of rounds is
 // charged.
 //
-// The simulator runs one goroutine per node in lock-step rounds. Because a
+// The simulator executes each lock-step round on a bounded worker pool
+// (one worker per available CPU rather than one goroutine per node), with
+// per-worker outboxes merged at the round barrier. Because a
 // t-round LOCAL algorithm is information-theoretically equivalent to "each
 // node gathers everything within radius t, then computes" (Section 2 of the
 // paper), the package also provides Gather, which floods local views for t
@@ -15,8 +17,10 @@ package local
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -66,9 +70,16 @@ type Result struct {
 	Rounds int
 }
 
-// Run executes the network with one goroutine per node in synchronous
-// rounds until every node has halted or maxRounds is reached. init provides
-// each node's initial state.
+// Run executes the network in synchronous rounds until every node has
+// halted or maxRounds is reached. init provides each node's initial state.
+//
+// Each round is executed by a bounded worker pool (GOMAXPROCS workers, not
+// one goroutine per node): workers pull active nodes off a shared cursor,
+// write each node's state and halt flag in place (no two workers ever touch
+// the same node), validate and buffer outgoing messages in a per-worker
+// outbox, and the outboxes are merged into the next round's inboxes only
+// after the round barrier — so message routing never serializes on a
+// shared lock.
 func (net *Network) Run(maxRounds int, init func(node int) any, step StepFunc) (*Result, error) {
 	n := net.G.N()
 	states := make([]any, n)
@@ -77,49 +88,60 @@ func (net *Network) Run(maxRounds int, init func(node int) any, step StepFunc) (
 	}
 	halted := make([]bool, n)
 	inboxes := make([][]Message, n)
-	var (
-		mu      sync.Mutex
-		stepErr error
-	)
+	active := make([]int, 0, n)
 	for round := 0; round < maxRounds; round++ {
-		allHalted := true
+		active = active[:0]
 		for v := 0; v < n; v++ {
 			if !halted[v] {
-				allHalted = false
-				break
+				active = append(active, v)
 			}
 		}
-		if allHalted {
+		if len(active) == 0 {
 			return &Result{States: states, Rounds: round}, nil
 		}
-		next := make([][]Message, n)
+		workers := min(runtime.GOMAXPROCS(0), len(active))
+		outboxes := make([][]Message, workers)
+		errs := make([]error, workers)
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
-		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(v int) {
+			go func(w int) {
 				defer wg.Done()
-				st, out, halt := step(v, round, states[v], inboxes[v])
-				mu.Lock()
-				defer mu.Unlock()
-				states[v] = st
-				halted[v] = halt
-				for _, msg := range out {
-					if msg.From != v || !net.G.HasEdge(v, msg.To) {
-						if stepErr == nil {
-							stepErr = fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, v, msg.To)
-						}
-						continue
+				var buf []Message
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(active) {
+						break
 					}
-					next[msg.To] = append(next[msg.To], msg)
+					v := active[i]
+					st, out, halt := step(v, round, states[v], inboxes[v])
+					states[v] = st
+					halted[v] = halt
+					for _, msg := range out {
+						if msg.From != v || !net.G.HasEdge(v, msg.To) {
+							if errs[w] == nil {
+								errs[w] = fmt.Errorf("%w: %d -> %d", ErrNotNeighbor, v, msg.To)
+							}
+							continue
+						}
+						buf = append(buf, msg)
+					}
 				}
-			}(v)
+				outboxes[w] = buf
+			}(w)
 		}
 		wg.Wait()
-		if stepErr != nil {
-			return nil, stepErr
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		next := make([][]Message, n)
+		for _, buf := range outboxes {
+			for _, msg := range buf {
+				next[msg.To] = append(next[msg.To], msg)
+			}
 		}
 		inboxes = next
 	}
@@ -273,7 +295,7 @@ func buildView(net *Network, v, t int, st *gatherState) *BallView {
 			if _, ok := bv.Dist[w]; !ok {
 				continue
 			}
-			e := graph.Edge{U: minInt(u, w), V: maxInt(u, w)}
+			e := graph.Edge{U: min(u, w), V: max(u, w)}
 			if !seen[e] {
 				seen[e] = true
 				bv.Edges = append(bv.Edges, e)
@@ -287,18 +309,4 @@ func buildView(net *Network, v, t int, st *gatherState) *BallView {
 		return bv.Edges[i].V < bv.Edges[j].V
 	})
 	return bv
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
