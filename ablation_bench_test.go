@@ -92,6 +92,7 @@ func BenchmarkAblationSamplerVsGlauber(b *testing.B) {
 	b.Run("jvv-exact", func(b *testing.B) {
 		in, o := benchHardcoreSetup(b, 24, 1.0)
 		rng := rand.New(rand.NewSource(3))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.LocalJVV(in, o, core.JVVConfig{}, rng); err != nil {
@@ -102,6 +103,7 @@ func BenchmarkAblationSamplerVsGlauber(b *testing.B) {
 	b.Run("glauber-30sweeps", func(b *testing.B) {
 		in, _ := benchHardcoreSetup(b, 24, 1.0)
 		rng := rand.New(rand.NewSource(4))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := glauber.Sample(in, 30, rng); err != nil {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/experiment"
 	"repro/internal/gibbs"
+	"repro/internal/glauber"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/model"
@@ -270,7 +271,7 @@ func BenchmarkGather(b *testing.B) {
 }
 
 // BenchmarkExactPartition measures the brute-force referee (hardcore on a
-// 4x4 grid).
+// 4x4 grid) — the incremental compiled-table enumeration path.
 func BenchmarkExactPartition(b *testing.B) {
 	g := graph.Grid(4, 4)
 	spec, err := model.Hardcore(g, 1.0)
@@ -281,10 +282,86 @@ func BenchmarkExactPartition(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	in.Spec.Compiled() // compile outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exact.Partition(in); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGlauberStep measures one steady-state heat-bath update on a
+// 4-regular torus through the compiled conditional kernel. The acceptance
+// bar for the compiled engine is 0 allocs/op here.
+func BenchmarkGlauberStep(b *testing.B) {
+	g := graph.Torus(16, 16)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := glauber.New(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chain.Step(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCondWeights isolates the conditional-weights kernel: the
+// compiled dense-table path against the equivalent closure-dispatch loop it
+// replaced.
+func BenchmarkCondWeights(b *testing.B) {
+	g := graph.Torus(16, 16)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := spec.Compiled()
+	cfg, err := eng.GreedyCompletion(dist.NewConfig(g.N()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		buf := make([]float64, spec.Q)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.CondWeights(cfg, i%g.N(), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		buf := make([]float64, spec.Q)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := i % g.N()
+			saved := cfg[v]
+			for x := 0; x < spec.Q; x++ {
+				cfg[v] = x
+				wx := 1.0
+				for _, fi := range spec.FactorsAt(v) {
+					f := spec.Factors[fi]
+					assign := make([]int, len(f.Scope))
+					for j, u := range f.Scope {
+						assign[j] = cfg[u]
+					}
+					wx *= f.Eval(assign)
+				}
+				buf[x] = wx
+			}
+			cfg[v] = saved
+		}
+	})
 }

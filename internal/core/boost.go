@@ -39,6 +39,11 @@ type BoostResult struct {
 //     is fully determined by local information once Γ ∪ Λ separates the
 //     ball interior from the rest of the graph.
 //
+// The within-ball enumeration runs on the spec's compiled evaluation engine
+// (via exact.BallMarginal), and the locality ℓ is served from the spec's
+// cache, so repeated Boost calls pay neither factor-closure dispatch nor
+// locality recomputation.
+//
 // The chain-rule telescoping of the paper shows the result is within
 // multiplicative error ε of µ^τ_v.
 func Boost(in *gibbs.Instance, o Oracle, v int, eps float64) (*BoostResult, error) {

@@ -128,6 +128,10 @@ func LocalJVV(in *gibbs.Instance, o MultOracle, cfg JVVConfig, rng *rand.Rand) (
 	if err != nil {
 		return nil, err
 	}
+	// Pass 3 evaluates factors in its inner loops; run it on the compiled
+	// engine with reusable ratio scratch.
+	eng := in.Spec.Compiled()
+	scratch := eng.NewScratch()
 
 	res := &JVVResult{
 		Failed:      make([]bool, n),
@@ -196,11 +200,11 @@ func LocalJVV(in *gibbs.Instance, o MultOracle, cfg JVVConfig, rng *rand.Rand) (
 			// Pinned vertices agree in every configuration; q = 1.
 			continue
 		}
-		next, err := bridgeStep(in, sigma, y, order, i, t, mode)
+		next, err := bridgeStep(in, eng, sigma, y, order, i, t, mode)
 		if err != nil {
 			return nil, fmt.Errorf("core: JVV pass 3 bridge at %d: %w", v, err)
 		}
-		q, err := acceptProb(in, o, sigma, next, order, i, t, eps, damp, cfg.FullRatio)
+		q, err := acceptProb(in, eng, scratch, o, sigma, next, order, i, t, eps, damp, cfg.FullRatio)
 		if err != nil {
 			return nil, fmt.Errorf("core: JVV pass 3 accept at %d: %w", v, err)
 		}
@@ -219,7 +223,7 @@ func LocalJVV(in *gibbs.Instance, o MultOracle, cfg JVVConfig, rng *rand.Rand) (
 // bridgeStep constructs σ̃_i from σ̃_{i−1}: a feasible configuration that
 // agrees with Y on order[0..i] and with σ̃_{i−1} outside B_t(v_i)
 // (invariants (6), (7), (8) of the paper; existence is Claim 4.6).
-func bridgeStep(in *gibbs.Instance, prev, y dist.Config, order []int, i, t int, mode CompletionMode) (dist.Config, error) {
+func bridgeStep(in *gibbs.Instance, eng *gibbs.Compiled, prev, y dist.Config, order []int, i, t int, mode CompletionMode) (dist.Config, error) {
 	v := order[i]
 	if prev[v] == y[v] {
 		// Nothing to change; σ̃_i = σ̃_{i−1} already satisfies the
@@ -251,13 +255,13 @@ func bridgeStep(in *gibbs.Instance, prev, y dist.Config, order []int, i, t int, 
 	}
 	switch mode {
 	case CompleteGreedy:
-		out, err := in.Spec.GreedyCompletion(base)
+		out, err := eng.GreedyCompletion(base)
 		if err != nil {
 			return nil, err
 		}
 		return out, nil
 	case CompleteEnumerate:
-		return completeByEnumeration(in, base)
+		return completeByEnumeration(in, eng, base)
 	default:
 		return nil, fmt.Errorf("core: unknown completion mode %d", mode)
 	}
@@ -266,20 +270,20 @@ func bridgeStep(in *gibbs.Instance, prev, y dist.Config, order []int, i, t int, 
 // completeByEnumeration finds a positive-weight extension of base by
 // exhaustive search over the free variables (the general strategy of Claim
 // 4.6; exponential in the number of free ball vertices).
-func completeByEnumeration(in *gibbs.Instance, base dist.Config) (dist.Config, error) {
+func completeByEnumeration(in *gibbs.Instance, eng *gibbs.Compiled, base dist.Config) (dist.Config, error) {
 	free := base.Free()
 	q := in.Q()
 	cfg := base.Clone()
 	var rec func(k int) bool
 	rec = func(k int) bool {
 		if k == len(free) {
-			w, err := in.Spec.Weight(cfg)
+			w, err := eng.Weight(cfg)
 			return err == nil && w > 0
 		}
 		u := free[k]
 		for x := 0; x < q; x++ {
 			cfg[u] = x
-			if !in.Spec.LocallyFeasibleAt(cfg, u) {
+			if !eng.LocallyFeasibleAt(cfg, u) {
 				continue
 			}
 			if rec(k + 1) {
@@ -298,7 +302,7 @@ func completeByEnumeration(in *gibbs.Instance, base dist.Config) (dist.Config, e
 // acceptProb computes q_{v_i} per equation (9), using the B_{2t}(v_i)
 // restriction of equation (11) for the µ̂^τ ratio and the ball restriction
 // of equation (12) for the weight ratio.
-func acceptProb(in *gibbs.Instance, o MultOracle, prev, next dist.Config, order []int, i, t int, eps, damp float64, fullRatio bool) (float64, error) {
+func acceptProb(in *gibbs.Instance, eng *gibbs.Compiled, scratch *gibbs.Scratch, o MultOracle, prev, next dist.Config, order []int, i, t int, eps, damp float64, fullRatio bool) (float64, error) {
 	v := order[i]
 	if prev.Equal(next) {
 		// σ̃_i = σ̃_{i−1}: both ratios are 1.
@@ -342,7 +346,7 @@ func acceptProb(in *gibbs.Instance, o MultOracle, prev, next dist.Config, order 
 	}
 	// w(σ̃_i) / w(σ̃_{i−1}) over factors touching the changed ball.
 	diff := prev.DiffersAt(next)
-	wRatio, err := in.Spec.WeightRatioOnBall(next, prev, diff)
+	wRatio, err := eng.WeightRatioOnBall(next, prev, diff, scratch)
 	if err != nil {
 		return 0, err
 	}

@@ -45,13 +45,15 @@ func SSMInference(in *gibbs.Instance, v, t int) (dist.Dist, int, error) {
 		}
 	}
 	sort.Ints(shell)
-	// Greedy locally feasible extension of τ onto the shell.
+	// Greedy locally feasible extension of τ onto the shell, checked on the
+	// compiled engine.
+	eng := in.Spec.Compiled()
 	ext := in.Pinned.Clone()
 	for _, u := range shell {
 		done := false
 		for x := 0; x < q; x++ {
 			ext[u] = x
-			if in.Spec.LocallyFeasibleAt(ext, u) {
+			if eng.LocallyFeasibleAt(ext, u) {
 				done = true
 				break
 			}

@@ -25,19 +25,21 @@ import (
 // specialized estimators.
 type BallEstimator struct {
 	spec *gibbs.Spec
+	eng  *gibbs.Compiled
 	ell  int
 	// Budget caps the per-ball enumeration; 0 means exact.DefaultBudget.
 	Budget int
 }
 
 // NewBallEstimator returns the generic estimator for a local Gibbs
-// specification. It validates locality (Definition 2.4) once up front.
+// specification. It validates locality (Definition 2.4) once up front and
+// runs shell extension and ball enumeration on the compiled engine.
 func NewBallEstimator(spec *gibbs.Spec) (*BallEstimator, error) {
 	ell, err := spec.Locality()
 	if err != nil {
 		return nil, err
 	}
-	return &BallEstimator{spec: spec, ell: ell}, nil
+	return &BallEstimator{spec: spec, eng: spec.Compiled(), ell: ell}, nil
 }
 
 // Locality returns the factor diameter ℓ of the specification.
@@ -76,7 +78,7 @@ func (e *BallEstimator) Marginal(pinned dist.Config, v, depth int) (dist.Dist, e
 		done := false
 		for x := 0; x < e.spec.Q; x++ {
 			ext[u] = x
-			if e.spec.LocallyFeasibleAt(ext, u) {
+			if e.eng.LocallyFeasibleAt(ext, u) {
 				done = true
 				break
 			}

@@ -83,23 +83,56 @@ func Mix(a, b Dist, w float64) (Dist, error) {
 	return out, nil
 }
 
-// Sample draws a symbol from the distribution. Rounding slack falls to the
-// last positive symbol, so the result always has positive probability.
-func (d Dist) Sample(rng *rand.Rand) int {
-	u := rng.Float64()
+// sampleWalk returns the first index whose running weight total exceeds u,
+// skipping nonpositive entries. Rounding slack falls to the last positive
+// index, so the result always has positive weight (-1 only when no entry
+// does). Shared by Dist.Sample, Joint.Sample, and SampleWeights so the
+// tie-breaking semantics stay in one place.
+func sampleWalk(w []float64, u float64) int {
 	acc := 0.0
 	last := -1
-	for i, p := range d {
-		if p <= 0 {
+	for i, x := range w {
+		if x <= 0 {
 			continue
 		}
 		last = i
-		acc += p
+		acc += x
 		if u < acc {
 			return i
 		}
 	}
 	return last
+}
+
+// Sample draws a symbol from the distribution. Rounding slack falls to the
+// last positive symbol, so the result always has positive probability.
+func (d Dist) Sample(rng *rand.Rand) int {
+	return sampleWalk(d, rng.Float64())
+}
+
+// SampleWeights draws an index proportional to the given nonnegative,
+// not-necessarily-normalized weights without allocating — the hot-path
+// companion of FromWeights(w).Sample for callers that reuse a weight
+// buffer (the Glauber heat-bath step). It applies the same validation as
+// FromWeights.
+func SampleWeights(w []float64, rng *rand.Rand) (int, error) {
+	if len(w) == 0 {
+		return -1, errors.New("dist: empty weight vector")
+	}
+	total := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return -1, fmt.Errorf("dist: weight %v at index %d", x, i)
+		}
+		total += x
+	}
+	if total <= 0 {
+		return -1, ErrZeroMass
+	}
+	if math.IsInf(total, 0) {
+		return -1, errors.New("dist: total weight overflows to +Inf")
+	}
+	return sampleWalk(w, rng.Float64()*total), nil
 }
 
 // ArgMax returns the most probable symbol (smallest index on ties), or -1

@@ -124,20 +124,11 @@ func (j *Joint) Sample(rng *rand.Rand) (Config, error) {
 	if j.total <= 0 || len(j.configs) == 0 {
 		return nil, ErrZeroMass
 	}
-	u := rng.Float64() * j.total
-	acc := 0.0
-	last := -1
-	for i, w := range j.weights {
-		if w <= 0 {
-			continue
-		}
-		last = i
-		acc += w
-		if u < acc {
-			return j.configs[i].Clone(), nil
-		}
+	i := sampleWalk(j.weights, rng.Float64()*j.total)
+	if i < 0 {
+		return nil, ErrZeroMass
 	}
-	return j.configs[last].Clone(), nil
+	return j.configs[i].Clone(), nil
 }
 
 // Marginal returns the marginal distribution of vertex v over the alphabet

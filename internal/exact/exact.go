@@ -24,10 +24,18 @@ var ErrTooLarge = errors.New("exact: enumeration too large")
 // DefaultBudget is the default maximum number of configurations enumerated.
 const DefaultBudget = 1 << 24
 
-// enumerate iterates over all total extensions of the instance pinning,
-// calling visit with the configuration and its weight (visit must not retain
-// the config).
+// enumerate iterates over all positive-weight total extensions of the
+// instance pinning, calling visit with the configuration and its weight
+// (visit must not retain the config).
+//
+// The weight is maintained incrementally on the compiled engine: assigning
+// free vertex v multiplies the running product by PartialWeightAt(cfg, v) —
+// the factors whose last unassigned scope vertex is v — so each factor is
+// accounted exactly once along a root-to-leaf path and a zero delta prunes
+// the subtree. No per-leaf full re-evaluation, no allocation in the
+// recursion.
 func enumerate(in *gibbs.Instance, budget int, visit func(c dist.Config, w float64)) error {
+	eng := in.Spec.Compiled()
 	free := in.FreeVertices()
 	q := in.Q()
 	total := 1.0
@@ -38,34 +46,30 @@ func enumerate(in *gibbs.Instance, budget int, visit func(c dist.Config, w float
 		}
 	}
 	cfg := in.Pinned.Clone()
-	var rec func(i int) error
-	rec = func(i int) error {
+	// Factors fully determined by the pinning contribute once, up front.
+	base := eng.PartialWeight(cfg)
+	if base == 0 {
+		return nil
+	}
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
 		if i == len(free) {
-			w, err := in.Spec.Weight(cfg)
-			if err != nil {
-				return err
-			}
-			if w > 0 {
-				visit(cfg, w)
-			}
-			return nil
+			visit(cfg, w)
+			return
 		}
 		v := free[i]
 		for x := 0; x < q; x++ {
 			cfg[v] = x
-			// Prune: if a fully assigned factor at v is already violated,
-			// no extension can be feasible.
-			if !in.Spec.LocallyFeasibleAt(cfg, v) {
+			d := eng.PartialWeightAt(cfg, v)
+			if d == 0 {
 				continue
 			}
-			if err := rec(i + 1); err != nil {
-				return err
-			}
+			rec(i+1, w*d)
 		}
 		cfg[v] = dist.Unset
-		return nil
 	}
-	return rec(0)
+	rec(0, base)
+	return nil
 }
 
 // Partition returns Z(τ) = Σ_{σ ⊇ τ} w(σ), the conditional partition
@@ -152,11 +156,19 @@ func BallMarginal(in *gibbs.Instance, v int, ball []int) (dist.Dist, error) {
 
 // BallMarginalBudget is BallMarginal with an explicit enumeration budget.
 func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist.Dist, error) {
+	n := in.N()
+	if v < 0 || v >= n {
+		return nil, fmt.Errorf("exact: ball marginal target %d out of range", v)
+	}
 	if x := in.Pinned[v]; x != dist.Unset {
 		return dist.Point(in.Q(), x), nil
 	}
-	inBall := make(map[int]bool, len(ball))
+	eng := in.Spec.Compiled()
+	inBall := make([]bool, n)
 	for _, u := range ball {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("exact: ball vertex %d out of range", u)
+		}
 		inBall[u] = true
 	}
 	if !inBall[v] {
@@ -170,7 +182,7 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 			free = append(free, u)
 		}
 	}
-	var factors []int
+	active := make([]bool, len(in.Spec.Factors))
 	for i, f := range in.Spec.Factors {
 		inside := true
 		for _, u := range f.Scope {
@@ -179,9 +191,7 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 				break
 			}
 		}
-		if inside {
-			factors = append(factors, i)
-		}
+		active[i] = inside
 	}
 	q := in.Q()
 	total := 1.0
@@ -193,59 +203,59 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 	}
 	weights := make([]float64, q)
 	cfg := in.Pinned.Clone()
-	evalUpTo := func(c dist.Config, u int) bool {
-		// Check factors containing u whose scope is inside the ball and
-		// fully assigned.
-		for _, i := range in.Spec.FactorsAt(u) {
-			f := in.Spec.Factors[i]
-			ok := true
-			for _, w := range f.Scope {
-				if !inBall[w] || c[w] == dist.Unset {
-					ok = false
-					break
-				}
+	// As in enumerate, the within-ball weight w_B is maintained
+	// incrementally: active factors fully determined by the pinning
+	// contribute to the root weight, and each active factor at u that
+	// became fully assigned when u was assigned contributes at u.
+	base := 1.0
+	for i := range in.Spec.Factors {
+		if !active[i] {
+			continue
+		}
+		val, ok := eng.EvalFull(i, cfg)
+		if !ok {
+			continue
+		}
+		base *= val
+		if base == 0 {
+			return nil, fmt.Errorf("exact: ball marginal at %d: %w (infeasible pinning)", v, dist.ErrZeroMass)
+		}
+	}
+	deltaAt := func(u int) float64 {
+		w := 1.0
+		for _, fi := range eng.FactorsAt(u) {
+			if !active[fi] {
+				continue
 			}
+			val, ok := eng.EvalFull(int(fi), cfg)
 			if !ok {
 				continue
 			}
-			assign := make([]int, len(f.Scope))
-			for j, w := range f.Scope {
-				assign[j] = c[w]
-			}
-			if f.Eval(assign) == 0 {
-				return false
+			w *= val
+			if w == 0 {
+				return 0
 			}
 		}
-		return true
+		return w
 	}
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
 		if i == len(free) {
-			w := 1.0
-			for _, fi := range factors {
-				f := in.Spec.Factors[fi]
-				assign := make([]int, len(f.Scope))
-				for j, u := range f.Scope {
-					assign[j] = cfg[u]
-				}
-				w *= f.Eval(assign)
-				if w == 0 {
-					return
-				}
-			}
 			weights[cfg[v]] += w
 			return
 		}
 		u := free[i]
 		for x := 0; x < q; x++ {
 			cfg[u] = x
-			if evalUpTo(cfg, u) {
-				rec(i + 1)
+			d := deltaAt(u)
+			if d == 0 {
+				continue
 			}
+			rec(i+1, w*d)
 		}
 		cfg[u] = dist.Unset
 	}
-	rec(0)
+	rec(0, base)
 	d, err := dist.FromWeights(weights)
 	if err != nil {
 		return nil, fmt.Errorf("exact: ball marginal at %d: %w", v, err)

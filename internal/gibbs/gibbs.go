@@ -6,11 +6,22 @@
 // admissibility (Definition 2.5), and instances (G, x, τ) with pinned
 // partial configurations realizing the paper's self-reducibility
 // (Definition 2.2).
+//
+// Two evaluation paths exist. The Spec methods (Weight, PartialWeight,
+// LocallyFeasibleAt, ...) dispatch through each factor's Eval closure and
+// are the reference semantics. The compiled engine (Compile / Spec.Compiled)
+// precomputes dense weight tables per factor and a flat CSR factor index,
+// exposing zero-allocation kernels (CondWeights, WeightRatioOnBall with
+// reusable scratch, PartialWeightAt) used by every hot consumer: the
+// Glauber sampler, the brute-force referee, the JVV/boost/SSM reductions,
+// and the correlation-decay ball estimator. See compile.go.
 package gibbs
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -24,13 +35,41 @@ type Factor struct {
 	// Scope lists the vertices the factor reads, in a fixed order.
 	Scope []int
 	// Eval returns the nonnegative weight of the given assignment to Scope
-	// (assignment indexed parallel to Scope).
+	// (assignment indexed parallel to Scope). When Table is set the table
+	// is authoritative: NewSpec replaces Eval with a table lookup so the
+	// closure and compiled paths cannot diverge, and any caller-supplied
+	// Eval is ignored.
 	Eval func(assign []int) float64
+	// Table optionally gives the factor as a dense weight table over all
+	// q^|Scope| scope assignments, indexed by the big-endian mixed-radix
+	// encoding index = Σ_j assign[j]·q^(s−1−j). Table-backed factors are
+	// adopted verbatim by the compiled engine regardless of the table-size
+	// cap, and the table may be shared between factors (it is never
+	// modified).
+	Table []float64
 	// Name is an optional human-readable label used in diagnostics.
 	Name string
 }
 
-// Spec specifies a Gibbs distribution (G, Σ, F).
+// UnaryTable returns a table-backed factor on the single vertex v with
+// weights[x] the weight of symbol x. The slice is retained (and may be
+// shared across factors).
+func UnaryTable(v int, weights []float64, name string) Factor {
+	return Factor{Scope: []int{v}, Table: weights, Name: name}
+}
+
+// PairTable returns a table-backed factor on the ordered pair (u, v):
+// table[xu*q+xv] is the weight of the assignment (u, v) = (xu, xv) for the
+// spec's alphabet size q. The slice is retained (and may be shared across
+// factors); its length is validated by NewSpec, the single authority on
+// table shape.
+func PairTable(u, v int, table []float64, name string) Factor {
+	return Factor{Scope: []int{u, v}, Table: table, Name: name}
+}
+
+// Spec specifies a Gibbs distribution (G, Σ, F). A Spec must not be
+// mutated after first use: Locality and the compiled engine are cached on
+// first access.
 type Spec struct {
 	// G is the underlying interaction graph.
 	G *graph.Graph
@@ -39,8 +78,24 @@ type Spec struct {
 	// Factors is the constraint collection F.
 	Factors []Factor
 
-	// factorsAt[v] caches the indices of factors whose scope contains v.
-	factorsAt [][]int
+	// Flat CSR per-vertex factor index: the factors whose scope contains v
+	// are Factors[i] for i in factorIdx[factorOff[v]:factorOff[v+1]]. Per
+	// vertex the indices are increasing; a vertex repeated in one scope
+	// contributes one entry per occurrence (mirroring the historical
+	// [][]int index).
+	factorOff []int32
+	factorIdx []int32
+
+	// Locality is cached after the first computation: it is consulted on
+	// every Boost/SSM/JVV call but depends only on the immutable factor
+	// scopes.
+	locOnce sync.Once
+	locEll  int
+	locErr  error
+
+	// The compiled engine is likewise built once on demand.
+	compileOnce sync.Once
+	compiled    *Compiled
 }
 
 var (
@@ -55,47 +110,116 @@ var (
 )
 
 // NewSpec validates and returns a Gibbs specification, building the
-// per-vertex factor index.
+// per-vertex factor index. Table-backed factors get an Eval synthesized
+// from their table so the closure path stays available. The factor slice
+// is copied (shallowly), so the caller's slice is not written to.
 func NewSpec(g *graph.Graph, q int, factors []Factor) (*Spec, error) {
 	if q <= 0 {
 		return nil, ErrAlphabet
 	}
-	s := &Spec{G: g, Q: q, Factors: factors}
-	s.factorsAt = make([][]int, g.N())
+	s := &Spec{G: g, Q: q, Factors: append([]Factor(nil), factors...)}
+	counts := make([]int32, g.N()+1)
 	for i, f := range factors {
-		if f.Eval == nil {
-			return nil, fmt.Errorf("gibbs: factor %d (%s) has nil Eval", i, f.Name)
-		}
 		if len(f.Scope) == 0 {
 			return nil, fmt.Errorf("gibbs: factor %d (%s) has empty scope", i, f.Name)
+		}
+		if f.Table != nil {
+			want, err := tableSize(q, len(f.Scope))
+			if err != nil {
+				return nil, fmt.Errorf("gibbs: factor %d (%s): %v", i, f.Name, err)
+			}
+			if len(f.Table) != want {
+				return nil, fmt.Errorf("gibbs: factor %d (%s) table has %d entries, want q^%d = %d",
+					i, f.Name, len(f.Table), len(f.Scope), want)
+			}
+			// The table is authoritative: both evaluation paths read it.
+			s.Factors[i].Eval = tableEval(f.Table, q)
+		} else if f.Eval == nil {
+			return nil, fmt.Errorf("gibbs: factor %d (%s) has nil Eval", i, f.Name)
 		}
 		for _, v := range f.Scope {
 			if v < 0 || v >= g.N() {
 				return nil, fmt.Errorf("%w: factor %d (%s) vertex %d", ErrScope, i, f.Name, v)
 			}
-			s.factorsAt[v] = append(s.factorsAt[v], i)
+			counts[v+1]++
+		}
+	}
+	s.factorOff = make([]int32, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		s.factorOff[v+1] = s.factorOff[v] + counts[v+1]
+	}
+	s.factorIdx = make([]int32, s.factorOff[g.N()])
+	fill := make([]int32, g.N())
+	copy(fill, s.factorOff[:g.N()])
+	for i, f := range factors {
+		for _, v := range f.Scope {
+			s.factorIdx[fill[v]] = int32(i)
+			fill[v]++
 		}
 	}
 	return s, nil
 }
 
+// tableSize returns q^s, erroring when the table would be absurdly large.
+func tableSize(q, s int) (int, error) {
+	size := 1
+	for j := 0; j < s; j++ {
+		if size > (1<<31)/q {
+			return 0, fmt.Errorf("table over q^%d assignments too large", s)
+		}
+		size *= q
+	}
+	return size, nil
+}
+
+// tableEval synthesizes an Eval closure from a dense weight table using the
+// big-endian mixed-radix encoding.
+func tableEval(table []float64, q int) func([]int) float64 {
+	return func(assign []int) float64 {
+		idx := 0
+		for _, x := range assign {
+			idx = idx*q + x
+		}
+		return table[idx]
+	}
+}
+
 // N returns the number of variables (vertices of G).
 func (s *Spec) N() int { return s.G.N() }
 
-// FactorsAt returns the indices of factors whose scope contains v. The slice
-// is shared internal state and must not be modified.
-func (s *Spec) FactorsAt(v int) []int {
-	if v < 0 || v >= len(s.factorsAt) {
+// FactorsAt returns the indices of factors whose scope contains v, in
+// increasing order (one entry per scope occurrence). The slice aliases the
+// spec's flat CSR index and must not be modified.
+func (s *Spec) FactorsAt(v int) []int32 {
+	if v < 0 || v+1 >= len(s.factorOff) {
 		return nil
 	}
-	return s.factorsAt[v]
+	lo, hi := s.factorOff[v], s.factorOff[v+1]
+	if lo == hi {
+		return nil
+	}
+	return s.factorIdx[lo:hi]
+}
+
+// Compiled returns the compiled evaluation engine for the spec, building
+// it on first use with the default table-size cap. The engine is shared;
+// its pure kernels are safe for concurrent use.
+func (s *Spec) Compiled() *Compiled {
+	s.compileOnce.Do(func() { s.compiled = Compile(s) })
+	return s.compiled
 }
 
 // Locality returns ℓ = max over factors of the diameter of the factor scope
 // in G (Definition 2.4). The distribution is "local" when this is O(1); all
 // models shipped in internal/model have ℓ ≤ 1. Returns an error when some
-// scope spans disconnected parts of G.
+// scope spans disconnected parts of G. The result is computed once and
+// cached.
 func (s *Spec) Locality() (int, error) {
+	s.locOnce.Do(func() { s.locEll, s.locErr = s.locality() })
+	return s.locEll, s.locErr
+}
+
+func (s *Spec) locality() (int, error) {
 	ell := 0
 	for i, f := range s.Factors {
 		d := s.G.SetDiameter(f.Scope)
@@ -174,7 +298,7 @@ func (s *Spec) LocallyFeasible(c dist.Config) bool {
 // at v.
 func (s *Spec) LocallyFeasibleAt(c dist.Config, v int) bool {
 	for _, i := range s.FactorsAt(v) {
-		val, ok := s.evalFactor(i, c)
+		val, ok := s.evalFactor(int(i), c)
 		if ok && val == 0 {
 			return false
 		}
@@ -185,20 +309,23 @@ func (s *Spec) LocallyFeasibleAt(c dist.Config, v int) bool {
 // WeightRatioOnBall returns w(σ')/w(σ) where σ' and σ are total
 // configurations differing only inside the vertex set D. Only factors whose
 // scope intersects D contribute, mirroring equation (12) of the paper. The
-// denominator factors must be positive; an error is returned otherwise.
+// factors are visited in increasing index order so the rounded result is
+// deterministic. The denominator factors must be positive; an error is
+// returned otherwise.
 func (s *Spec) WeightRatioOnBall(sigmaNew, sigmaOld dist.Config, d []int) (float64, error) {
-	inD := make(map[int]bool, len(d))
-	for _, v := range d {
-		inD[v] = true
-	}
-	touched := make(map[int]bool)
+	var touched []int
+	seen := make(map[int]bool)
 	for _, v := range d {
 		for _, i := range s.FactorsAt(v) {
-			touched[i] = true
+			if !seen[int(i)] {
+				seen[int(i)] = true
+				touched = append(touched, int(i))
+			}
 		}
 	}
+	sort.Ints(touched)
 	ratio := 1.0
-	for i := range touched {
+	for _, i := range touched {
 		num, ok1 := s.evalFactor(i, sigmaNew)
 		den, ok2 := s.evalFactor(i, sigmaOld)
 		if !ok1 || !ok2 {

@@ -1,0 +1,41 @@
+//go:build !race
+
+package glauber
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// TestStepZeroAllocs enforces the compiled-engine guarantee that a
+// steady-state heat-bath update allocates nothing — the regression gate
+// behind BenchmarkGlauberStep's 0 allocs/op. Excluded under the race
+// detector, whose instrumentation perturbs allocation accounting.
+func TestStepZeroAllocs(t *testing.T) {
+	g := graph.Torus(8, 8)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := chain.Step(rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Glauber Step allocates %.2f objects/op, want 0", avg)
+	}
+}

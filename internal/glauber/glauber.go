@@ -21,12 +21,19 @@ import (
 
 // Chain is a Glauber dynamics chain over a Gibbs instance: pinned vertices
 // never move; free vertices are resampled from their exact conditional
-// marginal given the rest of the current state.
+// marginal given the rest of the current state. Each update runs on the
+// compiled evaluation engine and performs no heap allocation as long as
+// every factor at the updated vertex is table-backed (always true for the
+// internal/model builders; closure factors above the table cap allocate a
+// scope buffer per evaluation).
 type Chain struct {
 	in    *gibbs.Instance
+	eng   *gibbs.Compiled
 	state dist.Config
 	free  []int
 	steps int
+	// cond is the reusable conditional-weight buffer of length q.
+	cond []float64
 }
 
 // ErrNoFeasibleStart indicates that no feasible initial state could be
@@ -37,18 +44,25 @@ var ErrNoFeasibleStart = errors.New("glauber: no feasible initial state")
 // instance pinning (for locally admissible distributions this always
 // exists).
 func New(in *gibbs.Instance) (*Chain, error) {
-	start, err := in.Spec.GreedyCompletion(in.Pinned)
+	eng := in.Spec.Compiled()
+	start, err := eng.GreedyCompletion(in.Pinned)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
 	}
-	w, err := in.Spec.Weight(start)
+	w, err := eng.Weight(start)
 	if err != nil {
 		return nil, err
 	}
 	if w <= 0 {
 		return nil, ErrNoFeasibleStart
 	}
-	return &Chain{in: in, state: start, free: in.FreeVertices()}, nil
+	return &Chain{
+		in:    in,
+		eng:   eng,
+		state: start,
+		free:  in.FreeVertices(),
+		cond:  make([]float64, in.Q()),
+	}, nil
 }
 
 // State returns a copy of the current configuration.
@@ -57,49 +71,27 @@ func (c *Chain) State() dist.Config { return c.state.Clone() }
 // Steps returns the number of single-site updates performed.
 func (c *Chain) Steps() int { return c.steps }
 
-// conditional computes the heat-bath distribution of vertex v given the
-// current values of all other vertices: proportional to the product of the
-// factors containing v (all other factors cancel).
-func (c *Chain) conditional(v int) (dist.Dist, error) {
-	q := c.in.Q()
-	w := make([]float64, q)
-	saved := c.state[v]
-	for x := 0; x < q; x++ {
-		c.state[v] = x
-		wx := 1.0
-		for _, fi := range c.in.Spec.FactorsAt(v) {
-			f := c.in.Spec.Factors[fi]
-			assign := make([]int, len(f.Scope))
-			for j, u := range f.Scope {
-				assign[j] = c.state[u]
-			}
-			wx *= f.Eval(assign)
-			if wx == 0 {
-				break
-			}
-		}
-		w[x] = wx
-	}
-	c.state[v] = saved
-	d, err := dist.FromWeights(w)
-	if err != nil {
-		return nil, fmt.Errorf("glauber: conditional at %d: %w", v, err)
-	}
-	return d, nil
-}
-
-// Step performs one heat-bath update at a uniformly random free vertex.
+// Step performs one heat-bath update at a uniformly random free vertex:
+// the conditional distribution of v given the rest of the current state is
+// proportional to the product of the factors containing v (all other
+// factors cancel), computed by the compiled CondWeights kernel into the
+// chain's reusable buffer and drawn by dist.SampleWeights — zero heap
+// allocations in steady state.
 func (c *Chain) Step(rng *rand.Rand) error {
 	if len(c.free) == 0 {
 		c.steps++
 		return nil
 	}
 	v := c.free[rng.Intn(len(c.free))]
-	d, err := c.conditional(v)
+	w, err := c.eng.CondWeights(c.state, v, c.cond)
 	if err != nil {
-		return err
+		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
 	}
-	c.state[v] = d.Sample(rng)
+	x, err := dist.SampleWeights(w, rng)
+	if err != nil {
+		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
+	}
+	c.state[v] = x
 	c.steps++
 	return nil
 }

@@ -1,0 +1,258 @@
+package model_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// builders enumerates every model constructor as a named spec factory over
+// a random small graph, covering the full satellite checklist: hardcore,
+// Ising/2-spin, q- and list-colorings, monomer–dimer matchings, and
+// hypergraph matchings.
+func builders(t *testing.T, rng *rand.Rand) map[string]*gibbs.Spec {
+	t.Helper()
+	g := graph.RandomTree(7, rng)
+	cyc := graph.Cycle(6)
+	specs := make(map[string]*gibbs.Spec)
+
+	hc, err := model.Hardcore(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["hardcore"] = hc
+
+	ising, err := model.Ising(cyc, 0.4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["ising"] = ising
+
+	twoSpin, err := model.TwoSpin(g, model.TwoSpinParams{Beta: 0.3, Gamma: 1.2, Lambda: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["2spin"] = twoSpin
+
+	col, err := model.Coloring(cyc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["coloring"] = col
+
+	lists := make([][]int, g.N())
+	for v := range lists {
+		for c := 0; c < 4; c++ {
+			if rng.Intn(4) > 0 {
+				lists[v] = append(lists[v], c)
+			}
+		}
+		if len(lists[v]) == 0 {
+			lists[v] = []int{rng.Intn(4)}
+		}
+	}
+	lc, err := model.ListColoring(g, 4, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["list-coloring"] = lc
+
+	m, err := model.Matching(graph.Grid(3, 3), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["matching"] = m.Spec
+
+	h, err := graph.RandomUniformHypergraph(8, 5, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := model.HypergraphMatching(h, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs["hypergraph-matching"] = hm.Spec
+
+	return specs
+}
+
+// randomPartial draws a partial configuration with roughly a third of the
+// vertices unset.
+func randomPartial(n, q int, rng *rand.Rand) dist.Config {
+	c := dist.NewConfig(n)
+	for v := range c {
+		if rng.Intn(3) > 0 {
+			c[v] = rng.Intn(q)
+		}
+	}
+	return c
+}
+
+// TestCompiledMatchesClosure is the compiled-vs-closure equivalence
+// property test: Weight, PartialWeight, LocallyFeasibleAt, and conditional
+// marginals agree exactly (bit-for-bit, no tolerance) between the Spec
+// closure path and Compile(Spec) on every model builder.
+func TestCompiledMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, spec := range builders(t, rng) {
+		t.Run(name, func(t *testing.T) {
+			eng := gibbs.Compile(spec)
+			n, q := spec.N(), spec.Q
+			buf := make([]float64, q)
+			for trial := 0; trial < 60; trial++ {
+				partial := randomPartial(n, q, rng)
+				if got, want := eng.PartialWeight(partial), spec.PartialWeight(partial); got != want {
+					t.Fatalf("PartialWeight = %v, want %v (cfg %v)", got, want, partial)
+				}
+				for v := 0; v < n; v++ {
+					if got, want := eng.LocallyFeasibleAt(partial, v), spec.LocallyFeasibleAt(partial, v); got != want {
+						t.Fatalf("LocallyFeasibleAt(%d) = %v, want %v (cfg %v)", v, got, want, partial)
+					}
+				}
+
+				total := dist.NewConfig(n)
+				for v := range total {
+					total[v] = rng.Intn(q)
+				}
+				wEng, err1 := eng.Weight(total)
+				wSpec, err2 := spec.Weight(total)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("Weight error mismatch: %v vs %v", err1, err2)
+				}
+				if wEng != wSpec {
+					t.Fatalf("Weight = %v, want %v (cfg %v)", wEng, wSpec, total)
+				}
+
+				// Conditional marginals on a feasible total configuration:
+				// CondWeights against the closure-path product over the
+				// factors at v (identical factor order, so identical
+				// floats), checked as normalized distributions too.
+				feasible, err := spec.GreedyCompletion(dist.NewConfig(n))
+				if err != nil {
+					// Random list-colorings need not be locally admissible;
+					// the conditional check then has no feasible anchor.
+					continue
+				}
+				v := rng.Intn(n)
+				w, err := eng.CondWeights(feasible, v, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				saved := feasible[v]
+				totalW := 0.0
+				for x := 0; x < q; x++ {
+					feasible[v] = x
+					want := 1.0
+					for _, fi := range eng.FactorsAt(v) {
+						f := spec.Factors[fi]
+						assign := make([]int, len(f.Scope))
+						for j, u := range f.Scope {
+							assign[j] = feasible[u]
+						}
+						want *= f.Eval(assign)
+					}
+					if w[x] != want {
+						t.Fatalf("CondWeights(%d)[%d] = %v, want %v", v, x, w[x], want)
+					}
+					totalW += w[x]
+				}
+				feasible[v] = saved
+				if totalW <= 0 {
+					t.Fatalf("conditional at %d has zero mass on feasible config", v)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRatioDeterministic checks that WeightRatioOnBall is
+// deterministic and identical across the legacy and compiled paths for
+// multi-vertex difference sets (the satellite fix: the legacy path used to
+// iterate a map).
+func TestCompiledRatioDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for name, spec := range builders(t, rng) {
+		t.Run(name, func(t *testing.T) {
+			eng := gibbs.Compile(spec)
+			sc := eng.NewScratch()
+			n := spec.N()
+			base, err := spec.GreedyCompletion(dist.NewConfig(n))
+			if err != nil {
+				t.Skipf("no greedy feasible base: %v", err)
+			}
+			for trial := 0; trial < 40; trial++ {
+				alt, err := eng.GreedyCompletion(func() dist.Config {
+					c := dist.NewConfig(n)
+					v := rng.Intn(n)
+					c[v] = rng.Intn(spec.Q)
+					if !spec.LocallyFeasibleAt(c, v) {
+						c[v] = dist.Unset
+					}
+					return c
+				}())
+				if err != nil {
+					continue
+				}
+				d := base.DiffersAt(alt)
+				if len(d) == 0 {
+					continue
+				}
+				want, errLegacy := spec.WeightRatioOnBall(alt, base, d)
+				if errLegacy != nil {
+					continue // zero denominator; both paths must agree below
+				}
+				for rep := 0; rep < 3; rep++ {
+					got, err := eng.WeightRatioOnBall(alt, base, d, sc)
+					if err != nil {
+						t.Fatalf("compiled ratio errored where legacy succeeded: %v", err)
+					}
+					if got != want {
+						t.Fatalf("%s: ratio %v != legacy %v (diff %v)", name, got, want, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyCompletionEquivalence pins the compiled and closure greedy
+// completions to each other on every builder.
+func TestGreedyCompletionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for name, spec := range builders(t, rng) {
+		t.Run(name, func(t *testing.T) {
+			eng := gibbs.Compile(spec)
+			for trial := 0; trial < 20; trial++ {
+				pin := randomPartial(spec.N(), spec.Q, rng)
+				want, err1 := spec.GreedyCompletion(pin)
+				got, err2 := eng.GreedyCompletion(pin)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("completion error mismatch: %v vs %v", err1, err2)
+				}
+				if err1 == nil && !got.Equal(want) {
+					t.Fatalf("completion %v != %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledWeightSmoke pins a hand-computable weight on both engines.
+func TestCompiledWeightSmoke(t *testing.T) {
+	g := graph.Cycle(8)
+	spec, err := model.Hardcore(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spec.Compiled()
+	cfg := dist.Config{1, 0, 1, 0, 1, 0, 1, 0} // 4 occupied vertices: λ⁴ = 16
+	a, err1 := spec.Weight(cfg)
+	b, err2 := eng.Weight(cfg)
+	if err1 != nil || err2 != nil || a != 16 || b != 16 {
+		t.Fatalf("weights = %v/%v (errs %v/%v), want 16", a, b, err1, err2)
+	}
+}

@@ -31,41 +31,34 @@ const (
 // vertices, hard constraints forbid adjacent occupied vertices, and a
 // configuration with k occupied vertices has weight λ^k. This is the model
 // of the paper's headline phase transition (Section 5).
+//
+// All factors are emitted as dense weight tables shared across vertices and
+// edges, so the compiled engine (gibbs.Compile) adopts them without
+// re-enumeration and the closure path reads the same tables.
 func Hardcore(g *graph.Graph, lambda float64) (*gibbs.Spec, error) {
 	if lambda <= 0 {
 		return nil, fmt.Errorf("model: hardcore fugacity must be positive, got %v", lambda)
 	}
+	activity := activityTable(lambda)
+	// (In, In) is forbidden; index is a_u·2 + a_v.
+	edge := []float64{1, 1, 1, 0}
 	factors := make([]gibbs.Factor, 0, g.N()+g.M())
 	for v := 0; v < g.N(); v++ {
-		factors = append(factors, vertexActivityFactor(v, lambda))
+		factors = append(factors, gibbs.UnaryTable(v, activity, "activity"))
 	}
 	for _, e := range g.Edges() {
-		e := e
-		factors = append(factors, gibbs.Factor{
-			Scope: []int{e.U, e.V},
-			Name:  fmt.Sprintf("hc-edge(%d,%d)", e.U, e.V),
-			Eval: func(a []int) float64 {
-				if a[0] == In && a[1] == In {
-					return 0
-				}
-				return 1
-			},
-		})
+		factors = append(factors, gibbs.PairTable(e.U, e.V, edge, "hc-edge"))
 	}
 	return gibbs.NewSpec(g, 2, factors)
 }
 
-func vertexActivityFactor(v int, lambda float64) gibbs.Factor {
-	return gibbs.Factor{
-		Scope: []int{v},
-		Name:  fmt.Sprintf("activity(%d)", v),
-		Eval: func(a []int) float64 {
-			if a[0] == In {
-				return lambda
-			}
-			return 1
-		},
-	}
+// activityTable is the shared unary table of a two-state model with
+// external field λ: weight 1 for Out, λ for In.
+func activityTable(lambda float64) []float64 {
+	t := make([]float64, 2)
+	t[Out] = 1
+	t[In] = lambda
+	return t
 }
 
 // TwoSpinParams parameterizes a 2-spin system with edge interaction matrix
@@ -101,26 +94,18 @@ func TwoSpin(g *graph.Graph, p TwoSpinParams) (*gibbs.Spec, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	activity := activityTable(p.Lambda)
+	edge := make([]float64, 4)
+	edge[Out*2+Out] = p.Beta
+	edge[Out*2+In] = 1
+	edge[In*2+Out] = 1
+	edge[In*2+In] = p.Gamma
 	factors := make([]gibbs.Factor, 0, g.N()+g.M())
 	for v := 0; v < g.N(); v++ {
-		factors = append(factors, vertexActivityFactor(v, p.Lambda))
+		factors = append(factors, gibbs.UnaryTable(v, activity, "activity"))
 	}
 	for _, e := range g.Edges() {
-		e := e
-		factors = append(factors, gibbs.Factor{
-			Scope: []int{e.U, e.V},
-			Name:  fmt.Sprintf("2spin-edge(%d,%d)", e.U, e.V),
-			Eval: func(a []int) float64 {
-				switch {
-				case a[0] == Out && a[1] == Out:
-					return p.Beta
-				case a[0] == In && a[1] == In:
-					return p.Gamma
-				default:
-					return 1
-				}
-			},
-		})
+		factors = append(factors, gibbs.PairTable(e.U, e.V, edge, "2spin-edge"))
 	}
 	return gibbs.NewSpec(g, 2, factors)
 }
@@ -137,20 +122,26 @@ func Coloring(g *graph.Graph, q int) (*gibbs.Spec, error) {
 	if q < 1 {
 		return nil, fmt.Errorf("model: coloring requires q >= 1, got %d", q)
 	}
+	neq := disequalityTable(q)
 	factors := make([]gibbs.Factor, 0, g.M())
 	for _, e := range g.Edges() {
-		factors = append(factors, gibbs.Factor{
-			Scope: []int{e.U, e.V},
-			Name:  fmt.Sprintf("neq(%d,%d)", e.U, e.V),
-			Eval: func(a []int) float64 {
-				if a[0] == a[1] {
-					return 0
-				}
-				return 1
-			},
-		})
+		factors = append(factors, gibbs.PairTable(e.U, e.V, neq, "neq"))
 	}
 	return gibbs.NewSpec(g, q, factors)
+}
+
+// disequalityTable is the shared q×q table of the proper-coloring edge
+// constraint: 0 on the diagonal, 1 elsewhere.
+func disequalityTable(q int) []float64 {
+	t := make([]float64, q*q)
+	for cu := 0; cu < q; cu++ {
+		for cv := 0; cv < q; cv++ {
+			if cu != cv {
+				t[cu*q+cv] = 1
+			}
+		}
+	}
+	return t
 }
 
 // ListColoring returns the uniform distribution over proper list colorings
@@ -164,35 +155,18 @@ func ListColoring(g *graph.Graph, q int, lists [][]int) (*gibbs.Spec, error) {
 	}
 	factors := make([]gibbs.Factor, 0, g.N()+g.M())
 	for v := 0; v < g.N(); v++ {
-		allowed := make([]bool, q)
+		allowed := make([]float64, q)
 		for _, c := range lists[v] {
 			if c < 0 || c >= q {
 				return nil, fmt.Errorf("model: color %d outside palette q=%d at vertex %d", c, q, v)
 			}
-			allowed[c] = true
+			allowed[c] = 1
 		}
-		factors = append(factors, gibbs.Factor{
-			Scope: []int{v},
-			Name:  fmt.Sprintf("list(%d)", v),
-			Eval: func(a []int) float64 {
-				if allowed[a[0]] {
-					return 1
-				}
-				return 0
-			},
-		})
+		factors = append(factors, gibbs.UnaryTable(v, allowed, "list"))
 	}
+	neq := disequalityTable(q)
 	for _, e := range g.Edges() {
-		factors = append(factors, gibbs.Factor{
-			Scope: []int{e.U, e.V},
-			Name:  fmt.Sprintf("neq(%d,%d)", e.U, e.V),
-			Eval: func(a []int) float64 {
-				if a[0] == a[1] {
-					return 0
-				}
-				return 1
-			},
-		})
+		factors = append(factors, gibbs.PairTable(e.U, e.V, neq, "neq"))
 	}
 	return gibbs.NewSpec(g, q, factors)
 }
