@@ -22,6 +22,7 @@ import (
 	"repro/internal/local"
 	"repro/internal/model"
 	"repro/internal/netdecomp"
+	"repro/internal/psample"
 )
 
 // reportTable runs an experiment builder once per iteration and surfaces a
@@ -364,4 +365,124 @@ func BenchmarkCondWeights(b *testing.B) {
 			cfg[v] = saved
 		}
 	})
+}
+
+// BenchmarkE12RoundsToMix regenerates E12 (LubyGlauber / LocalMetropolis
+// vs sequential Glauber); metric is the LocalMetropolis TV at the largest
+// sweep-equivalent budget.
+func BenchmarkE12RoundsToMix(b *testing.B) {
+	reportTable(b, func() (*experiment.Table, error) {
+		return experiment.E12RoundsToMix(6, 1.0, []int{1, 4, 8}, 1200, 5)
+	}, "metroTVatMax", func(t *experiment.Table) float64 {
+		return parseCell(b, t, len(t.Rows)-1, 5)
+	})
+}
+
+// --- Distributed sampler benchmarks (internal/psample) ---
+
+// benchSamplerSetup builds the throughput workload: hardcore on a 4-regular
+// torus with n = 576 ≥ 512 vertices.
+func benchSamplerSetup(b *testing.B) (*gibbs.Instance, *psample.Rules) {
+	b.Helper()
+	g := graph.Torus(24, 24)
+	spec, err := model.Hardcore(g, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := psample.NewRules(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, rules
+}
+
+// BenchmarkSamplerSweep compares one sweep-equivalent of the three
+// dynamics on the same instance: n sequential heat-bath updates for
+// glauber.Chain, Δ+1 LubyGlauber rounds (a vertex wins a phase with
+// probability ≥ 1/(Δ+1), so Δ+1 rounds perform ≈ n updates), and one
+// LocalMetropolis round (every vertex proposes). The sharded engines run
+// on the default worker pool — on a multi-core machine they spread the
+// sweep across CPUs while the sequential baseline cannot.
+func BenchmarkSamplerSweep(b *testing.B) {
+	in, rules := benchSamplerSetup(b)
+	n := in.N()
+	delta := in.Spec.G.MaxDegree()
+	b.Run("glauber-seq", func(b *testing.B) {
+		chain, err := glauber.New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := chain.Run(n, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lubyglauber-sharded", func(b *testing.B) {
+		s, err := psample.NewLubyGlauber(rules, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Run(delta + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if r := s.Rounds(); r > 0 {
+			b.ReportMetric(float64(s.Updates())/float64(r), "updates/round")
+		}
+	})
+	b.Run("localmetropolis-sharded", func(b *testing.B) {
+		s, err := psample.NewLocalMetropolis(rules, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Run(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if r := s.Rounds(); r > 0 {
+			b.ReportMetric(float64(s.Accepts())/float64(r), "accepts/round")
+		}
+	})
+}
+
+// BenchmarkLubyGlauberLOCAL measures the message-passing harness (4 rounds
+// of LubyGlauber on a 12×12 torus through the LOCAL simulator) — the
+// simulator overhead the sharded engine removes.
+func BenchmarkLubyGlauberLOCAL(b *testing.B) {
+	g := graph.Torus(12, 12)
+	spec, err := model.Hardcore(g, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := psample.NewRules(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := local.NewNetwork(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := psample.LubyGlauberLOCAL(net, rules, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

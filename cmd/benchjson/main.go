@@ -1,0 +1,145 @@
+// Command benchjson converts a `go test -json -bench` event stream (test2json
+// format, read from stdin) into a compact machine-readable benchmark report
+// on stdout, for the CI perf-tracking artifact (BENCH_pr.json):
+//
+//	go test -json -run=NONE -bench=. -benchtime=1x -benchmem ./... \
+//	    | benchjson > BENCH_pr.json
+//
+// Every benchmark result line becomes one record carrying all reported
+// metrics (ns/op, B/op, allocs/op, and any b.ReportMetric custom units).
+// Benchmark output lines are echoed to stderr so the CI log keeps the
+// human-readable smoke run, and the tool exits nonzero if any package
+// failed — the conversion never masks a broken benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream the tool consumes.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches the start of a benchmark result line; the tail is
+// parsed as alternating value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix strips the "-8" style procs suffix testing appends to
+// benchmark names, so the artifact is comparable across runner shapes.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	report, failed, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: one or more packages failed")
+		os.Exit(1)
+	}
+}
+
+// parse consumes the event stream, echoing benchmark-relevant output lines
+// to echo, and reports whether any package failed.
+func parse(r io.Reader, echo io.Writer) (*Report, bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	report := &Report{Benchmarks: []Result{}}
+	failed := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate stray non-JSON lines (e.g. toolchain notes).
+			continue
+		}
+		switch ev.Action {
+		case "fail":
+			failed = true
+		case "output":
+			out := strings.TrimRight(ev.Output, "\n")
+			res, ok := parseBenchLine(ev.Package, strings.TrimSpace(out))
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(echo, "%s\t%s\n", ev.Package, out)
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, failed, err
+	}
+	sort.Slice(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return report, failed, nil
+}
+
+// parseBenchLine decodes one "BenchmarkX-8  20  123 ns/op  4 B/op ..."
+// result line.
+func parseBenchLine(pkg, line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	fields := strings.Fields(m[3])
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	metrics := make(map[string]float64, len(fields)/2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return Result{
+		Package:    pkg,
+		Name:       gomaxprocsSuffix.ReplaceAllString(m[1], ""),
+		Iterations: iters,
+		Metrics:    metrics,
+	}, true
+}

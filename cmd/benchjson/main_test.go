@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkGlauberStep-8   \t 1000000\t       96.51 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkSamplerSweep/lubyglauber-sharded-8 \t 100\t 179584 ns/op\t 117.6 updates/round\t 5600 B/op\t 8 allocs/op\n"}
+not-json noise line
+{"Action":"output","Package":"repro/internal/dist","Output":"BenchmarkTV \t 5\t 1234 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParseBenchStream(t *testing.T) {
+	var echo bytes.Buffer
+	report, failed, err := parse(strings.NewReader(sampleStream), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("stream marked failed")
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	// Sorted by package then name: repro/… sorts after repro.
+	b0 := report.Benchmarks[0]
+	if b0.Name != "BenchmarkGlauberStep" || b0.Iterations != 1000000 {
+		t.Errorf("first record = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 96.51 || b0.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", b0.Metrics)
+	}
+	b1 := report.Benchmarks[1]
+	if b1.Name != "BenchmarkSamplerSweep/lubyglauber-sharded" {
+		t.Errorf("subbenchmark name = %q (procs suffix must be stripped)", b1.Name)
+	}
+	if b1.Metrics["updates/round"] != 117.6 || b1.Metrics["B/op"] != 5600 {
+		t.Errorf("custom metrics = %v", b1.Metrics)
+	}
+	if report.Benchmarks[2].Package != "repro/internal/dist" {
+		t.Errorf("order = %+v", report.Benchmarks)
+	}
+	if !strings.Contains(echo.String(), "BenchmarkGlauberStep") {
+		t.Error("benchmark lines not echoed for the CI log")
+	}
+	if strings.Contains(echo.String(), "goos") {
+		t.Error("non-benchmark output echoed")
+	}
+}
+
+func TestParseReportsFailure(t *testing.T) {
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-4 \t 2\t 10 ns/op\n"}
+{"Action":"fail","Package":"p"}
+`
+	var echo bytes.Buffer
+	report, failed, err := parse(strings.NewReader(stream), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("failure not propagated")
+	}
+	if len(report.Benchmarks) != 1 {
+		t.Errorf("benchmarks = %+v", report.Benchmarks)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"Benchmark",                 // no iterations or metrics
+		"BenchmarkX 12",             // no metrics
+		"BenchmarkX 12 3 ns/op 4",   // dangling value without a unit
+		"BenchmarkX twelve 3 ns/op", // non-numeric iterations
+	} {
+		if _, ok := parseBenchLine("p", line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

@@ -1,6 +1,6 @@
-// Command lbench runs the reproduction experiment suite (E1–E10 of
-// DESIGN.md) and prints one paper-shaped table per experiment, mirroring
-// the claims of Feng & Yin, PODC 2018.
+// Command lbench runs the reproduction experiment suite (E1–E12) and
+// prints one paper-shaped table per experiment, mirroring the claims of
+// Feng & Yin, PODC 2018.
 //
 // Usage:
 //

@@ -1,12 +1,17 @@
 // Command lsample draws a sample from a Gibbs model on a generated graph
 // using the distributed samplers of the paper: the exact local-JVV sampler
-// (Theorem 4.2) or the approximate sequential sampler (Theorem 3.2).
+// (Theorem 4.2), the approximate sequential sampler (Theorem 3.2), or the
+// Section 1.2 parallel dynamics (LubyGlauber / LocalMetropolis) run on the
+// sharded in-process engine, with sequential Glauber as the baseline.
 //
 // Usage:
 //
 //	lsample -model hardcore -graph cycle -n 24 -lambda 1.0 -sampler jvv
 //	lsample -model coloring -graph tree -n 40 -q 5
 //	lsample -model matching -graph grid -n 16 -lambda 2
+//	lsample -model hardcore -graph torus -n 16 -algo luby -rounds 200
+//	lsample -model coloring -graph grid -n 10 -q 6 -algo metropolis
+//	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 	"repro/internal/decay"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
+	"repro/internal/glauber"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/psample"
 )
 
 func main() {
@@ -41,6 +48,9 @@ type options struct {
 	seed    int64
 	sampler string
 	delta   float64
+	algo    string
+	rounds  int
+	sweeps  int
 }
 
 func run(args []string, out *os.File) error {
@@ -55,6 +65,9 @@ func run(args []string, out *os.File) error {
 	fs.Int64Var(&o.seed, "seed", 1, "random seed")
 	fs.StringVar(&o.sampler, "sampler", "jvv", "sampler: jvv (exact) | seq (approximate)")
 	fs.Float64Var(&o.delta, "delta", 0.01, "TV error for the approximate sampler")
+	fs.StringVar(&o.algo, "algo", "", "parallel dynamics instead of -sampler: luby | metropolis | glauber")
+	fs.IntVar(&o.rounds, "rounds", 0, "rounds for -algo luby/metropolis (0 = heuristic default)")
+	fs.IntVar(&o.sweeps, "sweeps", 64, "sweeps for -algo glauber")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,13 +75,21 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	in, oracle, render, err := buildModel(g, o)
+	in, render, mm, err := buildInstance(g, o)
 	if err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(o.seed))
-	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d sampler=%s\n", o.model, o.graph, g.N(), g.MaxDegree(), o.sampler)
 
+	if o.algo != "" {
+		return runAlgo(out, in, render, o)
+	}
+
+	oracle, err := buildOracle(g, mm, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d sampler=%s\n", o.model, o.graph, g.N(), g.MaxDegree(), o.sampler)
 	switch o.sampler {
 	case "jvv":
 		res, rounds, err := core.JVVLOCAL(in, oracle, core.JVVConfig{}, rng)
@@ -90,6 +111,68 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown sampler %q", o.sampler)
 	}
 	return nil
+}
+
+// runAlgo runs the -algo path: the parallel dynamics on the sharded
+// in-process engine, or the sequential Glauber baseline. All degree-based
+// heuristics use the instance's interaction graph, which differs from the
+// input graph for the matching model (a vertex model on the line graph).
+func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, o options) error {
+	algo := strings.ToLower(o.algo)
+	delta := in.Spec.G.MaxDegree()
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", o.model, o.graph, in.N(), delta, algo)
+	switch algo {
+	case "glauber":
+		rng := rand.New(rand.NewSource(o.seed))
+		chain, err := glauber.New(in)
+		if err != nil {
+			return err
+		}
+		if err := chain.Run(o.sweeps*max(1, in.N()), rng); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sweeps=%d updates=%d\n", o.sweeps, chain.Steps())
+		fmt.Fprintln(out, render(chain.State()))
+		return nil
+	case "luby", "metropolis":
+		rules, err := psample.NewRules(in)
+		if err != nil {
+			return err
+		}
+		rounds := o.rounds
+		if algo == "luby" {
+			if rounds <= 0 {
+				// ~16 sweep-equivalents: a vertex is selected with
+				// probability ≥ 1/(Δ+1) per round.
+				rounds = 16 * (delta + 1)
+			}
+			s, err := psample.NewLubyGlauber(rules, o.seed)
+			if err != nil {
+				return err
+			}
+			if err := s.Run(rounds); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "rounds=%d updates=%d\n", s.Rounds(), s.Updates())
+			fmt.Fprintln(out, render(s.State()))
+			return nil
+		}
+		if rounds <= 0 {
+			rounds = 200
+		}
+		s, err := psample.NewLocalMetropolis(rules, o.seed)
+		if err != nil {
+			return err
+		}
+		if err := s.Run(rounds); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rounds=%d accepts=%d\n", s.Rounds(), s.Accepts())
+		fmt.Fprintln(out, render(s.State()))
+		return nil
+	default:
+		return fmt.Errorf("unknown algo %q", o.algo)
+	}
 }
 
 func buildGraph(kind string, n int) (*graph.Graph, error) {
@@ -114,9 +197,11 @@ func buildGraph(kind string, n int) (*graph.Graph, error) {
 	}
 }
 
-// buildModel returns the instance, an inference oracle appropriate for the
-// model, and a renderer for sampled configurations.
-func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, func(dist.Config) string, error) {
+// buildInstance returns the model instance and a renderer for sampled
+// configurations; for the matching model it also returns the constructed
+// MatchingModel so the oracle is derived from the same object. Regime
+// checks that only concern the decay-oracle samplers live in buildOracle.
+func buildInstance(g *graph.Graph, o options) (*gibbs.Instance, func(dist.Config) string, *model.MatchingModel, error) {
 	switch strings.ToLower(o.model) {
 	case "hardcore":
 		spec, err := model.Hardcore(g, o.lambda)
@@ -127,15 +212,7 @@ func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, 
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		est, err := decay.NewHardcoreSAW(g, o.lambda)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		rate := model.HardcoreDecayRate(o.lambda, g.MaxDegree())
-		if rate >= 1 {
-			return nil, nil, nil, fmt.Errorf("λ=%g is not in the uniqueness regime for Δ=%d (λc=%g): no SSM oracle available — the paper's Ω(diam) lower bound applies", o.lambda, g.MaxDegree(), model.LambdaC(g.MaxDegree()))
-		}
-		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderBinary("occupied"), nil
+		return in, renderBinary("occupied"), nil, nil
 	case "ising":
 		p := model.TwoSpinParams{Beta: o.beta, Gamma: o.beta, Lambda: o.lambda}
 		spec, err := model.TwoSpin(g, p)
@@ -146,17 +223,7 @@ func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, 
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		est, err := decay.NewTwoSpinSAW(g, p)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		lo, hi := model.IsingUniquenessInterval(g.MaxDegree())
-		if o.beta <= lo || o.beta >= hi {
-			return nil, nil, nil, fmt.Errorf("b=%g outside the uniqueness interval (%g, %g) for Δ=%d", o.beta, lo, hi, g.MaxDegree())
-		}
-		// Conservative rate from the distance to the interval boundary.
-		rate := 0.9
-		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderBinary("spin-up"), nil
+		return in, renderBinary("spin-up"), nil, nil
 	case "coloring":
 		spec, err := model.Coloring(g, o.q)
 		if err != nil {
@@ -166,15 +233,7 @@ func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, 
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		est, err := decay.NewColoringEstimator(g, o.q, nil)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		if float64(o.q) < model.AlphaStar()*float64(g.MaxDegree()) {
-			fmt.Fprintf(os.Stderr, "lsample: warning: q=%d below α*Δ=%.2f — the GKM guarantee does not apply\n", o.q, model.AlphaStar()*float64(g.MaxDegree()))
-		}
-		rate := 0.8
-		return in, &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, renderColors, nil
+		return in, renderColors, nil, nil
 	case "matching":
 		m, err := model.Matching(g, o.lambda)
 		if err != nil {
@@ -184,8 +243,6 @@ func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, 
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		est := decay.NewMatchingEstimator(m)
-		rate := model.MatchingDecayRate(o.lambda, g.MaxDegree())
 		render := func(c dist.Config) string {
 			var b strings.Builder
 			b.WriteString("matched edges:")
@@ -197,9 +254,57 @@ func buildModel(g *graph.Graph, o options) (*gibbs.Instance, *core.DecayOracle, 
 			}
 			return b.String()
 		}
-		return in, &core.DecayOracle{Est: est, Rate: rate, N: m.Spec.N()}, render, nil
+		return in, render, m, nil
 	default:
 		return nil, nil, nil, fmt.Errorf("unknown model %q", o.model)
+	}
+}
+
+// buildOracle returns the inference oracle the jvv/seq samplers need,
+// enforcing the uniqueness-regime preconditions of their analyses. mm is
+// the matching model built by buildInstance (nil for other models).
+func buildOracle(g *graph.Graph, mm *model.MatchingModel, o options) (*core.DecayOracle, error) {
+	switch strings.ToLower(o.model) {
+	case "hardcore":
+		est, err := decay.NewHardcoreSAW(g, o.lambda)
+		if err != nil {
+			return nil, err
+		}
+		rate := model.HardcoreDecayRate(o.lambda, g.MaxDegree())
+		if rate >= 1 {
+			return nil, fmt.Errorf("λ=%g is not in the uniqueness regime for Δ=%d (λc=%g): no SSM oracle available — the paper's Ω(diam) lower bound applies", o.lambda, g.MaxDegree(), model.LambdaC(g.MaxDegree()))
+		}
+		return &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, nil
+	case "ising":
+		p := model.TwoSpinParams{Beta: o.beta, Gamma: o.beta, Lambda: o.lambda}
+		est, err := decay.NewTwoSpinSAW(g, p)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := model.IsingUniquenessInterval(g.MaxDegree())
+		if o.beta <= lo || o.beta >= hi {
+			return nil, fmt.Errorf("b=%g outside the uniqueness interval (%g, %g) for Δ=%d", o.beta, lo, hi, g.MaxDegree())
+		}
+		// Conservative rate from the distance to the interval boundary.
+		return &core.DecayOracle{Est: est, Rate: 0.9, N: g.N()}, nil
+	case "coloring":
+		est, err := decay.NewColoringEstimator(g, o.q, nil)
+		if err != nil {
+			return nil, err
+		}
+		if float64(o.q) < model.AlphaStar()*float64(g.MaxDegree()) {
+			fmt.Fprintf(os.Stderr, "lsample: warning: q=%d below α*Δ=%.2f — the GKM guarantee does not apply\n", o.q, model.AlphaStar()*float64(g.MaxDegree()))
+		}
+		return &core.DecayOracle{Est: est, Rate: 0.8, N: g.N()}, nil
+	case "matching":
+		if mm == nil {
+			return nil, fmt.Errorf("matching model not constructed")
+		}
+		est := decay.NewMatchingEstimator(mm)
+		rate := model.MatchingDecayRate(o.lambda, g.MaxDegree())
+		return &core.DecayOracle{Est: est, Rate: rate, N: mm.Spec.N()}, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", o.model)
 	}
 }
 

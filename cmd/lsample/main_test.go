@@ -60,3 +60,29 @@ func TestBuildGraphKinds(t *testing.T) {
 		t.Error("bogus graph kind accepted")
 	}
 }
+
+func TestRunAlgos(t *testing.T) {
+	cases := [][]string{
+		{"-model", "hardcore", "-graph", "cycle", "-n", "16", "-lambda", "1.2", "-algo", "luby"},
+		{"-model", "hardcore", "-graph", "torus", "-n", "4", "-lambda", "0.8", "-algo", "metropolis", "-rounds", "50"},
+		{"-model", "coloring", "-graph", "grid", "-n", "3", "-q", "6", "-algo", "luby", "-rounds", "40"},
+		{"-model", "ising", "-graph", "cycle", "-n", "12", "-beta", "0.7", "-algo", "metropolis"},
+		{"-model", "matching", "-graph", "path", "-n", "8", "-lambda", "1.5", "-algo", "luby"},
+		{"-model", "hardcore", "-graph", "path", "-n", "10", "-algo", "glauber", "-sweeps", "10"},
+		// -algo does not require the uniqueness regime: λ above λc is fine.
+		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-lambda", "50", "-algo", "luby"},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, args := range cases {
+		if err := run(args, devnull); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	if err := run([]string{"-algo", "nosuch", "-n", "6"}, devnull); err == nil {
+		t.Error("bogus -algo accepted")
+	}
+}

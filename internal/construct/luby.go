@@ -37,8 +37,19 @@ func (r *MISResult) Set() []int {
 }
 
 // ErrNotConverged indicates the round budget was exhausted (probability
-// vanishing in n for the default budget).
+// vanishing in n for the default budget) with the partial set not yet
+// maximal.
 var ErrNotConverged = errors.New("construct: Luby MIS did not converge")
+
+// Beats reports whether the phase draw (draw, id) defeats the rival draw
+// (rivalDraw, rivalID) in one phase of Luby's algorithm: the strictly
+// larger draw wins, with exact ties broken toward the larger ID. A vertex
+// joins the phase's independent set iff its draw beats every competing
+// rival's — the per-phase selection rule reused verbatim by the
+// LubyGlauber sampler (internal/psample) in both of its harnesses.
+func Beats(draw float64, id int, rivalDraw float64, rivalID int) bool {
+	return draw > rivalDraw || (draw == rivalDraw && id > rivalID)
+}
 
 // lubyState is the per-node state of Luby's algorithm.
 type lubyState struct {
@@ -103,7 +114,7 @@ func LubyMIS(net *local.Network, seed int64, maxPhases int) (*MISResult, error) 
 					if !ok || msg.kind != "draw" {
 						continue
 					}
-					if msg.val > st.draw || (msg.val == st.draw && m.From > v) {
+					if Beats(msg.val, m.From, st.draw, v) {
 						win = false
 					}
 				}
@@ -146,16 +157,42 @@ func LubyMIS(net *local.Network, seed int64, maxPhases int) (*MISResult, error) 
 	if err != nil && !errors.Is(err, local.ErrMaxRounds) {
 		return nil, err
 	}
-	out := &MISResult{InSet: make([]bool, n), Rounds: res.Rounds}
+	status := make([]int, n)
 	for v := 0; v < n; v++ {
 		st, ok := res.States[v].(*lubyState)
 		if !ok {
 			return nil, fmt.Errorf("construct: bad state at %d", v)
 		}
-		if st.status == 0 {
-			return nil, fmt.Errorf("%w: node %d undecided after %d rounds", ErrNotConverged, v, res.Rounds)
+		status[v] = st.status
+	}
+	return finalize(net.G, status, res.Rounds)
+}
+
+// finalize classifies the per-node Luby statuses into an MIS result. A node
+// still undecided when the round budget ran out is harmless as long as it is
+// dominated by a joined neighbor (the set is already maximal, only the
+// departure bookkeeping was cut off); round-budget exhaustion is an error
+// only when some undecided node is genuinely undominated, i.e. the set is
+// not maximal.
+func finalize(g *graph.Graph, status []int, rounds int) (*MISResult, error) {
+	out := &MISResult{InSet: make([]bool, len(status)), Rounds: rounds}
+	for v, s := range status {
+		out.InSet[v] = s == 1
+	}
+	for v, s := range status {
+		if s != 0 {
+			continue
 		}
-		out.InSet[v] = st.status == 1
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if out.InSet[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return nil, fmt.Errorf("%w: node %d undecided and undominated after %d rounds", ErrNotConverged, v, rounds)
+		}
 	}
 	return out, nil
 }

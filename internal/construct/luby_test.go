@@ -1,7 +1,9 @@
 package construct
 
 import (
+	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/dist"
@@ -149,5 +151,51 @@ func TestConstructionIsNotSampling(t *testing.T) {
 	}
 	if truth.Prob(empty) == 0 {
 		t.Error("hardcore measure should charge the empty set")
+	}
+}
+
+// TestBeats pins the phase rule shared with the psample LubyGlauber
+// sampler: strictly larger draw wins, ties break toward the larger ID, and
+// the relation is a strict total order (exactly one side beats the other).
+func TestBeats(t *testing.T) {
+	if !Beats(0.7, 1, 0.3, 2) {
+		t.Error("larger draw must win")
+	}
+	if Beats(0.3, 9, 0.7, 0) {
+		t.Error("smaller draw must lose regardless of ID")
+	}
+	if !Beats(0.5, 3, 0.5, 1) || Beats(0.5, 1, 0.5, 3) {
+		t.Error("exact ties must break toward the larger ID")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		d1, d2 := rng.Float64(), rng.Float64()
+		if Beats(d1, 1, d2, 2) == Beats(d2, 2, d1, 1) {
+			t.Fatalf("Beats is not a strict total order at (%v, %v)", d1, d2)
+		}
+	}
+}
+
+// TestFinalizeAcceptsMaximalPartialRun covers the round-budget bugfix: an
+// undecided node that is already dominated by a joined neighbor must not
+// trigger ErrNotConverged — the set is maximal, only the departure
+// bookkeeping was cut off by the budget.
+func TestFinalizeAcceptsMaximalPartialRun(t *testing.T) {
+	g := graph.Path(3)
+	// Node 1 never processed its departure, but both endpoints joined: the
+	// set {0, 2} is already a maximal independent set.
+	res, err := finalize(g, []int{1, 0, 1}, 6)
+	if err != nil {
+		t.Fatalf("maximal partial run rejected: %v", err)
+	}
+	if !res.InSet[0] || res.InSet[1] || !res.InSet[2] {
+		t.Errorf("InSet = %v, want {0, 2}", res.InSet)
+	}
+	if err := Verify(g, res); err != nil {
+		t.Errorf("finalized set fails verification: %v", err)
+	}
+	// Node 1 undecided with no joined neighbor: genuinely not converged.
+	if _, err := finalize(g, []int{2, 0, 2}, 6); !errors.Is(err, ErrNotConverged) {
+		t.Errorf("undominated undecided node returned %v, want ErrNotConverged", err)
 	}
 }

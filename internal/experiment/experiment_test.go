@@ -329,8 +329,8 @@ func TestRunSuiteQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
-		t.Fatalf("suite produced %d tables, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("suite produced %d tables, want 16", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {
@@ -339,5 +339,34 @@ func TestRunSuiteQuick(t *testing.T) {
 		if tab.String() == "" {
 			t.Errorf("%s renders empty", tab.ID)
 		}
+	}
+}
+
+// TestE12ParallelDynamicsMix checks that both parallel dynamics actually
+// approach the truth with budget: the final-budget TV must be far below the
+// initial one and near the sampling-noise envelope.
+func TestE12ParallelDynamicsMix(t *testing.T) {
+	trials := 2500
+	tab, err := E12RoundsToMix(5, 1.0, []int{0, 2, 8}, trials, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, col := range []int{3, 5} { // luby TV, metro TV
+		start := cell(t, tab, 0, col)
+		end := cell(t, tab, len(tab.Rows)-1, col)
+		if end > 0.5*start {
+			t.Errorf("col %d: TV %v -> %v — no mixing observed", col, start, end)
+		}
+		if end > 0.15 {
+			t.Errorf("col %d: final TV %v too far from the envelope", col, end)
+		}
+	}
+	// Glauber with the same sweep budget must also be mixed (sanity that
+	// the sweep-equivalent axis is fair).
+	if got := cell(t, tab, len(tab.Rows)-1, 1); got > 0.15 {
+		t.Errorf("glauber final TV %v", got)
 	}
 }

@@ -11,7 +11,7 @@ type SuiteParams struct {
 	Seed int64
 }
 
-// RunSuite executes every experiment E1–E10 with canonical parameters and
+// RunSuite executes every experiment E1–E12 with canonical parameters and
 // returns the tables in order. Each table corresponds to one row of the
 // per-experiment index in DESIGN.md.
 func RunSuite(p SuiteParams) ([]*Table, error) {
@@ -19,11 +19,13 @@ func RunSuite(p SuiteParams) ([]*Table, error) {
 	jvvSizes := []int{6, 8, 10}
 	jvvTrials := 6000
 	e2Runs := 20000
+	e12Trials := 4000
 	if p.Quick {
 		sizes = []int{16, 32, 64}
 		jvvSizes = []int{6, 8}
 		jvvTrials = 1500
 		e2Runs = 4000
+		e12Trials = 1200
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
@@ -64,6 +66,9 @@ func RunSuite(p SuiteParams) ([]*Table, error) {
 			return E10Hypergraph(3, 4, []float64{0.5, 0.9, 1.5}, []int{2, 3, 4})
 		}},
 		{"E11", func() (*Table, error) { return E11Counting([]int{8, 12, 16, 20}, 1.0, 1e-6) }},
+		{"E12", func() (*Table, error) {
+			return E12RoundsToMix(6, 1.0, []int{1, 2, 4, 8, 16}, e12Trials, p.Seed)
+		}},
 	}
 	for _, s := range steps {
 		if err := run(s.name, s.f); err != nil {

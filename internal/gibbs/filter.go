@@ -1,0 +1,169 @@
+package gibbs
+
+// filter.go implements the evaluation kernel behind the LocalMetropolis
+// filter (the fully-parallel proposal dynamics of Section 1.2): for a factor
+// f with scope S, a current configuration σ and a proposal σ', each factor
+// accepts independently with probability proportional to the product of f
+// evaluated at every "mixed" assignment that takes the proposed value on a
+// nonempty subset of toggled scope vertices and the current value elsewhere.
+// For a pairwise factor on (u, v) this is the classical three-term filter
+// f(σ'_u, σ_v)·f(σ_u, σ'_v)·f(σ'_u, σ'_v); the subset product is its
+// generalization to arbitrary arity.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// filterMaxToggle bounds the number of toggled vertices: the subset product
+// has 2^k − 1 terms, so anything beyond this is certainly a modelling error.
+const filterMaxToggle = 20
+
+// ErrNotTabled indicates a kernel that requires the dense-table fast path
+// was asked about a closure-backed factor.
+var ErrNotTabled = errors.New("gibbs: factor is not table-backed")
+
+// TableMax returns the maximum entry of factor i's dense weight table. It
+// reports ok = false for closure-backed factors (whose supremum is not
+// enumerable in general).
+func (c *Compiled) TableMax(i int) (float64, bool) {
+	if i < 0 || i >= len(c.factors) {
+		return 0, false
+	}
+	f := &c.factors[i]
+	if f.table == nil {
+		return 0, false
+	}
+	m := 0.0
+	for _, v := range f.table {
+		if v > m {
+			m = v
+		}
+	}
+	return m, true
+}
+
+// FilterWeight returns the unnormalized LocalMetropolis filter weight of
+// factor i between the current configuration old and the proposal prop:
+//
+//	Π over nonempty T ⊆ verts of f(prop on T, old elsewhere),
+//
+// a product of 2^len(verts) − 1 factor evaluations. verts must be a set of
+// distinct vertices appearing in the factor's scope (callers typically pass
+// the free scope vertices; pinned scope vertices stay at their old = prop
+// value in every term). Both configurations must assign every scope vertex.
+//
+// On the dense-table path the kernel performs no heap allocation for up to
+// 8 toggled vertices; closure-backed factors fall back to building the
+// mixed assignments explicitly.
+func (c *Compiled) FilterWeight(i int, old, prop dist.Config, verts []int) (float64, error) {
+	if i < 0 || i >= len(c.factors) {
+		return 0, fmt.Errorf("gibbs: filter factor %d out of range", i)
+	}
+	k := len(verts)
+	if k == 0 {
+		return 1, nil
+	}
+	if k > filterMaxToggle {
+		return 0, fmt.Errorf("gibbs: filter over %d toggled vertices (max %d)", k, filterMaxToggle)
+	}
+	f := &c.factors[i]
+	if f.table != nil {
+		return c.filterTable(f, old, prop, verts)
+	}
+	return c.filterClosure(f, old, prop, verts)
+}
+
+// filterTable walks the 2^k − 1 mixed assignments through the dense table:
+// the base index encodes the all-old assignment and each toggled vertex
+// contributes a fixed index delta, so a mixed assignment is one integer sum.
+func (c *Compiled) filterTable(f *cfactor, old, prop dist.Config, verts []int) (float64, error) {
+	base := int32(0)
+	for j, u := range f.scope {
+		if int(u) >= len(old) || old[u] < 0 {
+			return 0, fmt.Errorf("gibbs: filter: scope vertex %d unassigned in current configuration", u)
+		}
+		base += int32(old[u]) * f.strides[j]
+	}
+	var dbuf [8]int32
+	deltas := dbuf[:0]
+	if len(verts) > len(dbuf) {
+		deltas = make([]int32, 0, len(verts))
+	}
+	for _, d := range verts {
+		if d >= len(prop) || prop[d] < 0 || old[d] < 0 {
+			return 0, fmt.Errorf("gibbs: filter: toggled vertex %d unassigned", d)
+		}
+		delta := int32(0)
+		found := false
+		for j, u := range f.scope {
+			if int(u) == d {
+				delta += int32(prop[d]-old[d]) * f.strides[j]
+				found = true
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("gibbs: filter: vertex %d not in factor scope", d)
+		}
+		deltas = append(deltas, delta)
+	}
+	w := 1.0
+	for mask := 1; mask < 1<<len(deltas); mask++ {
+		idx := base
+		for b, delta := range deltas {
+			if mask&(1<<b) != 0 {
+				idx += delta
+			}
+		}
+		w *= f.table[idx]
+		if w == 0 {
+			return 0, nil
+		}
+	}
+	return w, nil
+}
+
+// filterClosure evaluates the subset product through the factor's Eval
+// closure, materializing each mixed assignment.
+func (c *Compiled) filterClosure(f *cfactor, old, prop dist.Config, verts []int) (float64, error) {
+	toggled := make(map[int]int, len(verts)) // vertex -> bit position
+	for b, d := range verts {
+		if d >= len(prop) || prop[d] < 0 {
+			return 0, fmt.Errorf("gibbs: filter: toggled vertex %d unassigned", d)
+		}
+		toggled[d] = b
+	}
+	for _, d := range verts {
+		found := false
+		for _, u := range f.scope {
+			if int(u) == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("gibbs: filter: vertex %d not in factor scope", d)
+		}
+	}
+	assign := make([]int, len(f.scope))
+	w := 1.0
+	for mask := 1; mask < 1<<len(verts); mask++ {
+		for j, u := range f.scope {
+			if int(u) >= len(old) || old[u] < 0 {
+				return 0, fmt.Errorf("gibbs: filter: scope vertex %d unassigned in current configuration", u)
+			}
+			if b, ok := toggled[int(u)]; ok && mask&(1<<b) != 0 {
+				assign[j] = prop[u]
+			} else {
+				assign[j] = old[u]
+			}
+		}
+		w *= f.eval(assign)
+		if w == 0 {
+			return 0, nil
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,131 @@
+package gibbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// filterSpec builds a spec mixing a pairwise table factor, an arity-3
+// factor, and a factor with a repeated scope vertex, on a triangle.
+func filterSpec(t *testing.T, rng *rand.Rand) *Spec {
+	t.Helper()
+	g := graph.Complete(3)
+	table3 := make([]float64, 27)
+	for i := range table3 {
+		table3[i] = rng.Float64() + 0.1
+	}
+	pair := make([]float64, 9)
+	for i := range pair {
+		pair[i] = rng.Float64() + 0.1
+	}
+	rep := make([]float64, 9)
+	for i := range rep {
+		rep[i] = rng.Float64() + 0.1
+	}
+	s, err := NewSpec(g, 3, []Factor{
+		{Scope: []int{0, 1, 2}, Table: table3, Name: "t3"},
+		PairTable(0, 1, pair, "pair"),
+		{Scope: []int{2, 2}, Table: rep, Name: "repeated"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFilterWeightTableMatchesClosure checks the dense-table filter walk
+// against the closure fallback (forced via a zero table cap) and against a
+// direct subset-product reference.
+func TestFilterWeightTableMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := filterSpec(t, rng)
+	tabled := Compile(s)
+	closured := CompileCap(s, 0)
+	n, q := s.N(), s.Q
+	vertsPerFactor := [][]int{{0, 1, 2}, {0, 1}, {2}}
+	for trial := 0; trial < 200; trial++ {
+		old := dist.NewConfig(n)
+		prop := dist.NewConfig(n)
+		for v := 0; v < n; v++ {
+			old[v] = rng.Intn(q)
+			prop[v] = rng.Intn(q)
+		}
+		for fi, verts := range vertsPerFactor {
+			got, err := tabled.FilterWeight(fi, old, prop, verts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := closured.FilterWeight(fi, old, prop, verts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("factor %d: table filter %v != closure filter %v (old %v prop %v)", fi, got, want, old, prop)
+			}
+			// Direct reference: product over nonempty toggle subsets.
+			ref := 1.0
+			mixed := old.Clone()
+			for mask := 1; mask < 1<<len(verts); mask++ {
+				copy(mixed, old)
+				for b, v := range verts {
+					if mask&(1<<b) != 0 {
+						mixed[v] = prop[v]
+					}
+				}
+				val, ok := tabled.EvalFull(fi, mixed)
+				if !ok {
+					t.Fatalf("factor %d not evaluable", fi)
+				}
+				ref *= val
+			}
+			if diff := got - ref; diff > 1e-12*ref || diff < -1e-12*ref {
+				t.Fatalf("factor %d: filter %v != reference %v", fi, got, ref)
+			}
+		}
+	}
+}
+
+func TestFilterWeightValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := filterSpec(t, rng)
+	c := Compile(s)
+	total := dist.Config{0, 1, 2}
+	partial := dist.Config{0, dist.Unset, 2}
+	if _, err := c.FilterWeight(0, partial, total, []int{0, 1}); err == nil {
+		t.Error("unassigned current configuration accepted")
+	}
+	if _, err := c.FilterWeight(1, total, total, []int{2}); err == nil {
+		t.Error("toggle vertex outside scope accepted")
+	}
+	if _, err := c.FilterWeight(9, total, total, []int{0}); err == nil {
+		t.Error("factor index out of range accepted")
+	}
+	if w, err := c.FilterWeight(0, total, total, nil); err != nil || w != 1 {
+		t.Errorf("empty toggle set: w=%v err=%v, want 1", w, err)
+	}
+}
+
+func TestTableMax(t *testing.T) {
+	g := graph.Path(2)
+	s, err := NewSpec(g, 2, []Factor{
+		PairTable(0, 1, []float64{0.2, 3.5, 1, 0}, "p"),
+		{Scope: []int{0, 1}, Eval: func(a []int) float64 { return 1 }, Name: "closure"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cap of 0 keeps the closure factor un-tabled.
+	c := CompileCap(s, 0)
+	if m, ok := c.TableMax(0); !ok || m != 3.5 {
+		t.Errorf("TableMax(0) = %v, %v; want 3.5, true", m, ok)
+	}
+	if _, ok := c.TableMax(1); ok {
+		t.Error("TableMax reported ok for a closure factor")
+	}
+	if _, ok := c.TableMax(-1); ok {
+		t.Error("TableMax reported ok for an out-of-range index")
+	}
+}

@@ -71,19 +71,15 @@ func (c *Chain) State() dist.Config { return c.state.Clone() }
 // Steps returns the number of single-site updates performed.
 func (c *Chain) Steps() int { return c.steps }
 
-// Step performs one heat-bath update at a uniformly random free vertex:
-// the conditional distribution of v given the rest of the current state is
-// proportional to the product of the factors containing v (all other
-// factors cancel), computed by the compiled CondWeights kernel into the
-// chain's reusable buffer and drawn by dist.SampleWeights — zero heap
-// allocations in steady state.
-func (c *Chain) Step(rng *rand.Rand) error {
-	if len(c.free) == 0 {
-		c.steps++
-		return nil
-	}
-	v := c.free[rng.Intn(len(c.free))]
-	w, err := c.eng.CondWeights(c.state, v, c.cond)
+// HeatBath performs one heat-bath update at vertex v in place: the
+// conditional distribution of v given the rest of state is proportional to
+// the product of the factors containing v (all other factors cancel),
+// computed by the compiled CondWeights kernel into cond (length ≥ q) and
+// drawn by dist.SampleWeights — zero heap allocations in steady state.
+// This single update rule is shared by the sequential chain and by the
+// distributed LubyGlauber sampler (internal/psample) in both its harnesses.
+func HeatBath(eng *gibbs.Compiled, state dist.Config, v int, cond []float64, rng *rand.Rand) error {
+	w, err := eng.CondWeights(state, v, cond)
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
 	}
@@ -91,7 +87,20 @@ func (c *Chain) Step(rng *rand.Rand) error {
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
 	}
-	c.state[v] = x
+	state[v] = x
+	return nil
+}
+
+// Step performs one heat-bath update at a uniformly random free vertex.
+func (c *Chain) Step(rng *rand.Rand) error {
+	if len(c.free) == 0 {
+		c.steps++
+		return nil
+	}
+	v := c.free[rng.Intn(len(c.free))]
+	if err := HeatBath(c.eng, c.state, v, c.cond, rng); err != nil {
+		return err
+	}
 	c.steps++
 	return nil
 }

@@ -2,6 +2,7 @@ package local
 
 import (
 	"errors"
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -173,5 +174,62 @@ func TestGatherCustomIDs(t *testing.T) {
 	}
 	if views[1].IDs[0] != 100 || views[1].IDs[2] != 300 {
 		t.Errorf("IDs = %v", views[1].IDs)
+	}
+}
+
+// TestGatherDisconnected checks that flooding never crosses component
+// boundaries: a radius-t ball view must contain exactly the vertices
+// reachable within distance t, so vertices in other components — even at
+// "distance" 1 in index space — never appear, no matter how large t is.
+func TestGatherDisconnected(t *testing.T) {
+	// Components: triangle {0,1,2}, edge {3,4}, isolated {5}.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 4)
+	net := NewNetwork(g)
+	views, rounds, err := net.Gather(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 {
+		t.Errorf("rounds = %d, want 4", rounds)
+	}
+	want := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {3, 4}, {3, 4}, {5}}
+	for v, bv := range views {
+		if !slices.Equal(bv.Nodes, want[v]) {
+			t.Errorf("ball of %d = %v, want %v (unreachable nodes must not leak in)", v, bv.Nodes, want[v])
+		}
+		for u := range bv.Dist {
+			if d := g.Dist(v, u); d != bv.Dist[u] {
+				t.Errorf("view of %d: Dist[%d] = %d, want %d", v, u, bv.Dist[u], d)
+			}
+		}
+	}
+}
+
+// TestGatherIsolatedVertex checks the degenerate ball: an isolated vertex
+// sees only itself at every radius, with its own input and ID intact.
+func TestGatherIsolatedVertex(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1) // vertex 2 is isolated
+	net := NewNetwork(g)
+	inputs := []any{"a", "b", "c"}
+	for _, radius := range []int{0, 1, 5} {
+		views, _, err := net.Gather(radius, inputs)
+		if err != nil {
+			t.Fatalf("radius %d: %v", radius, err)
+		}
+		bv := views[2]
+		if !slices.Equal(bv.Nodes, []int{2}) {
+			t.Errorf("radius %d: isolated ball = %v, want [2]", radius, bv.Nodes)
+		}
+		if len(bv.Edges) != 0 {
+			t.Errorf("radius %d: isolated ball has edges %v", radius, bv.Edges)
+		}
+		if bv.Inputs[2] != "c" || bv.IDs[2] != 2 || bv.Dist[2] != 0 {
+			t.Errorf("radius %d: isolated view corrupted: %+v", radius, bv)
+		}
 	}
 }

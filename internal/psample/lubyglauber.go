@@ -1,0 +1,132 @@
+package psample
+
+// lubyglauber.go is the direct sharded LubyGlauber engine. Each round has
+// two stages: (1) every free vertex draws a phase value; (2) every free
+// vertex that wins the Luby phase against its free neighbors performs a
+// heat-bath update through glauber.HeatBath. Winners form an independent
+// set, so no two simultaneous updates share a factor and the round is a
+// product of ordinary Glauber kernels — the target distribution is exactly
+// stationary. A vertex is selected with probability at least 1/(deg+1) per
+// round, which is what gives the paper's O(Δ log n)-style round bounds.
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/glauber"
+)
+
+// LubyGlauber is the sharded in-process LubyGlauber sampler.
+type LubyGlauber struct {
+	// Workers overrides the worker count when positive (default: one per
+	// CPU, bounded so blocks stay coarse).
+	Workers int
+
+	rules   *Rules
+	state   dist.Config
+	draws   []float64
+	rounds  int
+	updates int64
+	workers []lgWorker
+	seed    int64
+}
+
+// lgWorker is the per-worker mutable state (RNG stream and heat-bath
+// buffer); worker w exclusively owns vertex block w.
+type lgWorker struct {
+	rng  *rand.Rand
+	cond []float64
+}
+
+// NewLubyGlauber returns a sampler started from the greedy feasible
+// completion of the instance pinning, with per-worker RNG streams derived
+// from seed.
+func NewLubyGlauber(r *Rules, seed int64) (*LubyGlauber, error) {
+	s := &LubyGlauber{rules: r, draws: make([]float64, r.n)}
+	if err := s.Reset(seed); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset restarts the sampler from the greedy start with fresh RNG streams.
+func (s *LubyGlauber) Reset(seed int64) error {
+	start, err := s.rules.Start()
+	if err != nil {
+		return err
+	}
+	s.state = start
+	s.seed = seed
+	s.rounds = 0
+	s.updates = 0
+	s.workers = s.workers[:0]
+	return nil
+}
+
+// State returns a copy of the current configuration.
+func (s *LubyGlauber) State() dist.Config { return s.state.Clone() }
+
+// Rounds returns the number of rounds executed.
+func (s *LubyGlauber) Rounds() int { return s.rounds }
+
+// Updates returns the total number of heat-bath updates performed (the sum
+// of the independent-set sizes over all rounds).
+func (s *LubyGlauber) Updates() int64 { return s.updates }
+
+// ensureWorkers sizes the per-worker state for w workers.
+func (s *LubyGlauber) ensureWorkers(w int) {
+	for len(s.workers) < w {
+		i := len(s.workers)
+		s.workers = append(s.workers, lgWorker{
+			rng:  rand.New(rand.NewSource(s.seed + int64(i)*0x5E3779B97F4A7C15)),
+			cond: make([]float64, s.rules.q),
+		})
+	}
+}
+
+// Run executes the given number of rounds on the worker pool.
+func (s *LubyGlauber) Run(rounds int) error {
+	r := s.rules
+	workers := s.Workers
+	if workers <= 0 {
+		workers = defaultWorkers(r.n)
+	}
+	workers = max(min(workers, r.n), 1)
+	s.ensureWorkers(workers)
+	g := r.in.Spec.G
+	updates := make([]int64, workers)
+	stages := []func(w, round int) error{
+		func(w, round int) error {
+			lo, hi := blockOf(r.n, workers, w)
+			rng := s.workers[w].rng
+			for v := lo; v < hi; v++ {
+				if r.free[v] {
+					s.draws[v] = rng.Float64()
+				}
+			}
+			return nil
+		},
+		func(w, round int) error {
+			lo, hi := blockOf(r.n, workers, w)
+			wk := &s.workers[w]
+			for v := lo; v < hi; v++ {
+				if !r.free[v] || !r.winsPhase(v, s.draws, g.Neighbors(v)) {
+					continue
+				}
+				if err := glauber.HeatBath(r.eng, s.state, v, wk.cond, wk.rng); err != nil {
+					return err
+				}
+				updates[w]++
+			}
+			return nil
+		},
+	}
+	if err := runRounds(workers, rounds, stages); err != nil {
+		return err
+	}
+	s.rounds += rounds
+	for _, u := range updates {
+		s.updates += u
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package psample
+
+// network.go runs the two samplers as genuine message-passing algorithms on
+// the local.Network simulator, charging synchronous rounds the way the
+// LOCAL model does. Both harnesses reuse the exact update rules of the
+// sharded engines — construct.Beats + glauber.HeatBath for LubyGlauber and
+// Rules.Propose + Rules.FilterProb for LocalMetropolis — so the two
+// harnesses cannot drift apart.
+//
+// The implementations pipeline one dynamics round per LOCAL round: the
+// message a node sends in LOCAL round t carries its state after t dynamics
+// rounds plus the randomness for round t+1, so R dynamics rounds cost
+// exactly R+1 LOCAL rounds. Factor scopes are cliques of G (enforced by
+// NewRules), so every quantity a node needs — neighbor spins, neighbor
+// proposals, and the shared per-factor filter coin flipped by the
+// factor's smallest scope vertex — arrives from direct neighbors.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/construct"
+	"repro/internal/dist"
+	"repro/internal/glauber"
+	"repro/internal/local"
+)
+
+// networkFor validates that the network matches the rules' interaction
+// graph and returns the per-node RNGs (private randomness, seeded from the
+// given seed exactly as construct.LubyMIS does).
+func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) {
+	if net.G.N() != r.n {
+		return nil, fmt.Errorf("psample: network has %d nodes, instance has %d", net.G.N(), r.n)
+	}
+	rngs := make([]*rand.Rand, r.n)
+	for v := range rngs {
+		rngs[v] = rand.New(rand.NewSource(seed ^ int64(v)*0x5E3779B97F4A7C15))
+	}
+	return rngs, nil
+}
+
+// lgNodeState is the per-node state of the LubyGlauber LOCAL harness.
+type lgNodeState struct {
+	val  int
+	draw float64
+	// cfg is the node's view of its closed neighborhood: cfg[u] for
+	// neighbors u is u's spin as of the previous round.
+	cfg  dist.Config
+	cond []float64
+	done int
+	// err records a failed update; the simulator has no error channel for
+	// steps, so it is surfaced through the final state.
+	err error
+}
+
+// lgMsg is the LubyGlauber round message: the sender's spin after the
+// current round and its draw for the next phase.
+type lgMsg struct {
+	val  int
+	draw float64
+}
+
+// LubyGlauberLOCAL runs R rounds of LubyGlauber by message passing on the
+// network (which must be the instance's interaction graph) and returns the
+// final configuration together with the LOCAL rounds consumed (R+1: the
+// harness pipelines one dynamics round per LOCAL round plus the initial
+// exchange).
+func LubyGlauberLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist.Config, int, error) {
+	rngs, err := networkFor(net, r, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	start, err := r.Start()
+	if err != nil {
+		return nil, 0, err
+	}
+	if R <= 0 {
+		return start, 0, nil
+	}
+	g := net.G
+	init := func(v int) any {
+		st := &lgNodeState{
+			val:  start[v],
+			cfg:  dist.NewConfig(r.n),
+			cond: make([]float64, r.q),
+		}
+		st.cfg[v] = st.val
+		return st
+	}
+	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
+		st := state.(*lgNodeState)
+		if round > 0 {
+			// Deliver neighbor spins and decide the phase drawn last round.
+			win := r.free[v]
+			for _, m := range inbox {
+				msg := m.Payload.(lgMsg)
+				st.cfg[m.From] = msg.val
+				if win && r.free[m.From] && construct.Beats(msg.draw, m.From, st.draw, v) {
+					win = false
+				}
+			}
+			if win {
+				st.cfg[v] = st.val
+				if err := glauber.HeatBath(r.eng, st.cfg, v, st.cond, rngs[v]); err != nil {
+					st.err = err
+					return st, nil, true
+				}
+				st.val = st.cfg[v]
+			}
+			st.done++
+			if st.done >= R {
+				return st, nil, true
+			}
+		}
+		if r.free[v] {
+			st.draw = rngs[v].Float64()
+		}
+		out := make([]local.Message, 0, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			out = append(out, local.Message{From: v, To: u, Payload: lgMsg{val: st.val, draw: st.draw}})
+		}
+		return st, out, false
+	}
+	res, err := net.Run(R+1, init, step)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := dist.NewConfig(r.n)
+	for v := 0; v < r.n; v++ {
+		st := res.States[v].(*lgNodeState)
+		if st.err != nil {
+			return nil, 0, fmt.Errorf("psample: heat-bath update failed at node %d: %w", v, st.err)
+		}
+		out[v] = st.val
+	}
+	return out, res.Rounds, nil
+}
+
+// lmCoin is one filter coin flipped by the owning (smallest toggled) vertex
+// of acceptance factor j.
+type lmCoin struct {
+	j int
+	u float64
+}
+
+// lmMsg is the LocalMetropolis round message: the sender's current spin,
+// its proposal for the next round, and the coins of the factors it owns.
+type lmMsg struct {
+	val   int
+	prop  int
+	coins []lmCoin
+}
+
+// lmNodeState is the per-node state of the LocalMetropolis LOCAL harness.
+type lmNodeState struct {
+	val   int
+	prop  int
+	coins []lmCoin
+	// cfg and props are the node's views of its closed neighborhood:
+	// spins as of the previous round and proposals for this round.
+	cfg   dist.Config
+	props dist.Config
+	// coinAt[j] is the coin of acceptance factor j this round (only the
+	// factors toggling this node are ever read).
+	coinAt map[int]float64
+	done   int
+	// err records a failed filter evaluation, surfaced after the run.
+	err error
+}
+
+// LocalMetropolisLOCAL runs R rounds of LocalMetropolis by message passing
+// on the network (which must be the instance's interaction graph) and
+// returns the final configuration together with the LOCAL rounds consumed
+// (R+1). Each acceptance factor's shared coin is flipped by its smallest
+// toggled vertex and broadcast with that vertex's proposal; every scope
+// vertex then evaluates the same deterministic filter predicate, so the
+// factor's verdict is consistent across its clique without extra rounds.
+func LocalMetropolisLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist.Config, int, error) {
+	if err := r.MetropolisReady(); err != nil {
+		return nil, 0, err
+	}
+	rngs, err := networkFor(net, r, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	start, err := r.Start()
+	if err != nil {
+		return nil, 0, err
+	}
+	if R <= 0 {
+		return start, 0, nil
+	}
+	// owner[j] is the vertex that flips acceptance factor j's coin.
+	owner := make([]int, len(r.acc))
+	owned := make([][]int, r.n)
+	for j, af := range r.acc {
+		o := af.verts[0]
+		for _, v := range af.verts[1:] {
+			if v < o {
+				o = v
+			}
+		}
+		owner[j] = o
+		owned[o] = append(owned[o], j)
+	}
+	g := net.G
+	init := func(v int) any {
+		st := &lmNodeState{
+			val:    start[v],
+			cfg:    dist.NewConfig(r.n),
+			props:  dist.NewConfig(r.n),
+			coinAt: make(map[int]float64, len(r.AccAt(v))),
+		}
+		st.cfg[v] = st.val
+		return st
+	}
+	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
+		st := state.(*lmNodeState)
+		if round > 0 {
+			for _, m := range inbox {
+				msg := m.Payload.(lmMsg)
+				st.cfg[m.From] = msg.val
+				st.props[m.From] = msg.prop
+				for _, c := range msg.coins {
+					st.coinAt[c.j] = c.u
+				}
+			}
+			st.cfg[v] = st.val
+			st.props[v] = st.prop
+			for _, c := range st.coins {
+				st.coinAt[c.j] = c.u
+			}
+			if r.free[v] {
+				accept := true
+				for _, j := range r.AccAt(v) {
+					p, err := r.FilterProb(int(j), st.cfg, st.props)
+					if err != nil {
+						st.err = err
+						return st, nil, true
+					}
+					if st.coinAt[int(j)] >= p {
+						accept = false
+						break
+					}
+				}
+				if accept {
+					st.val = st.prop
+				}
+			}
+			st.done++
+			if st.done >= R {
+				return st, nil, true
+			}
+		}
+		// Draw next round's proposal and owned coins, then broadcast. The
+		// coin slice must be fresh each round: the outgoing message aliases
+		// it and is only read by neighbors during the next round.
+		st.prop = r.Propose(v, rngs[v])
+		st.coins = make([]lmCoin, 0, len(owned[v]))
+		for _, j := range owned[v] {
+			st.coins = append(st.coins, lmCoin{j: j, u: rngs[v].Float64()})
+		}
+		out := make([]local.Message, 0, g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			out = append(out, local.Message{From: v, To: u, Payload: lmMsg{val: st.val, prop: st.prop, coins: st.coins}})
+		}
+		return st, out, false
+	}
+	res, err := net.Run(R+1, init, step)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := dist.NewConfig(r.n)
+	for v := 0; v < r.n; v++ {
+		st := res.States[v].(*lmNodeState)
+		if st.err != nil {
+			return nil, 0, fmt.Errorf("psample: filter evaluation failed at node %d: %w", v, st.err)
+		}
+		out[v] = st.val
+	}
+	return out, res.Rounds, nil
+}

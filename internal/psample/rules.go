@@ -1,0 +1,311 @@
+// Package psample implements the paper's two distributed samplers on the
+// LOCAL runtime — LubyGlauber and LocalMetropolis (Section 1.2) — each in
+// two harnesses that share one update-rule implementation:
+//
+//   - a message-passing harness on local.Network, where only synchronous
+//     rounds are charged, validating the O(Δ log n)-style round behavior
+//     experimentally, and
+//   - a direct sharded in-process engine (a worker pool over vertex and
+//     factor blocks with no message overhead) for throughput comparisons
+//     against the sequential glauber.Chain baseline.
+//
+// LubyGlauber interleaves construction and sampling: each round one phase
+// of Luby's MIS algorithm (construct.Beats) picks an independent set of
+// free vertices, and every selected vertex performs a heat-bath update
+// (glauber.HeatBath) simultaneously — correct because an independent set
+// shares no factor, so the simultaneous conditionals coincide with the
+// sequential ones. LocalMetropolis is fully parallel: every free vertex
+// proposes a fresh spin from its unary-weight distribution each round, and
+// every multi-vertex factor independently accepts with the subset-product
+// filter probability (gibbs.Compiled.FilterWeight normalized by the
+// factor's maximum table entry); a vertex adopts its proposal iff all its
+// factors accept.
+//
+// Both dynamics have the target Gibbs distribution µ^τ as their stationary
+// distribution (the package tests pin this exactly by enumerating the
+// one-round transition matrix on small instances, and empirically by
+// TV-distance tests against internal/exact for every internal/model
+// builder).
+package psample
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/construct"
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+)
+
+// Rules is the shared compiled form of an instance's update rules: the
+// per-vertex proposal distributions and the acceptance-filtered factors of
+// LocalMetropolis, the free-vertex structure used by LubyGlauber's phase
+// selection, and the compiled evaluation engine behind both. One Rules
+// value is immutable after construction and safe for concurrent use by any
+// number of samplers.
+type Rules struct {
+	in  *gibbs.Instance
+	eng *gibbs.Compiled
+	n   int
+	q   int
+
+	// free[v] reports whether v is unpinned.
+	free []bool
+	// proposal[v] is the normalized LocalMetropolis proposal distribution
+	// of free vertex v: the product of every factor that is unary in v
+	// under the pinning (nil for pinned vertices).
+	proposal []dist.Dist
+	// acc lists the acceptance-filtered factors: factors with at least two
+	// distinct free scope vertices.
+	acc []accFactor
+	// accOff/accIdx is the CSR mapping each vertex to the indices (into
+	// acc) of the acceptance factors that toggle it.
+	accOff []int32
+	accIdx []int32
+	// accErr defers "LocalMetropolis cannot run on this instance" errors
+	// (closure-backed acceptance factors have no enumerable maximum) so
+	// that LubyGlauber, which never filters, still works.
+	accErr error
+}
+
+// accFactor is one acceptance-filtered factor of LocalMetropolis.
+type accFactor struct {
+	// fi is the factor index in the compiled engine.
+	fi int
+	// verts are the distinct free scope vertices (the toggled set).
+	verts []int
+	// scale converts FilterWeight into a probability: (1/max)^(2^k − 1)
+	// where max is the factor's largest table entry, so every one of the
+	// 2^k − 1 subset terms is at most 1.
+	scale float64
+}
+
+// ErrNoFeasibleStart indicates that no feasible initial configuration could
+// be constructed from the instance pinning.
+var ErrNoFeasibleStart = errors.New("psample: no feasible initial state")
+
+// NewRules compiles the shared update rules of both samplers for the
+// instance. It fails if some factor scope is not a clique of the
+// interaction graph (both samplers rely on factor locality: a vertex's
+// factors must be computable from its graph neighborhood) or if some free
+// vertex has no feasible proposal.
+func NewRules(in *gibbs.Instance) (*Rules, error) {
+	s := in.Spec
+	r := &Rules{
+		in:  in,
+		eng: s.Compiled(),
+		n:   s.N(),
+		q:   s.Q,
+	}
+	r.free = make([]bool, r.n)
+	for v, x := range in.Pinned {
+		r.free[v] = x == dist.Unset
+	}
+	propW := make([][]float64, r.n)
+	var scratch []int
+	for fi, f := range s.Factors {
+		// Distinct scope vertices, and the free ones among them.
+		scratch = scratch[:0]
+		for _, u := range f.Scope {
+			seen := false
+			for _, d := range scratch {
+				if d == u {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				scratch = append(scratch, u)
+			}
+		}
+		for i, u := range scratch {
+			for _, w := range scratch[i+1:] {
+				if !s.G.HasEdge(u, w) {
+					return nil, fmt.Errorf("psample: factor %d (%s): scope vertices %d and %d are not adjacent — scopes must be cliques of G", fi, f.Name, u, w)
+				}
+			}
+		}
+		var freeVerts []int
+		for _, u := range scratch {
+			if r.free[u] {
+				freeVerts = append(freeVerts, u)
+			}
+		}
+		switch len(freeVerts) {
+		case 0:
+			// Constant under the pinning; feasibility of the pinning is
+			// checked by Start.
+		case 1:
+			v := freeVerts[0]
+			if propW[v] == nil {
+				propW[v] = ones(r.q)
+			}
+			if err := foldUnary(propW[v], f, in.Pinned, v); err != nil {
+				return nil, fmt.Errorf("psample: factor %d (%s): %w", fi, f.Name, err)
+			}
+		default:
+			af := accFactor{fi: fi, verts: freeVerts}
+			if m, ok := r.eng.TableMax(fi); !ok {
+				if r.accErr == nil {
+					r.accErr = fmt.Errorf("psample: factor %d (%s): %w — LocalMetropolis needs table-backed factors", fi, f.Name, gibbs.ErrNotTabled)
+				}
+			} else if m <= 0 {
+				if r.accErr == nil {
+					r.accErr = fmt.Errorf("psample: factor %d (%s) is identically zero", fi, f.Name)
+				}
+			} else {
+				terms := 1<<len(freeVerts) - 1
+				af.scale = math.Pow(1/m, float64(terms))
+			}
+			r.acc = append(r.acc, af)
+		}
+	}
+	r.proposal = make([]dist.Dist, r.n)
+	for v := 0; v < r.n; v++ {
+		if !r.free[v] {
+			continue
+		}
+		w := propW[v]
+		if w == nil {
+			w = ones(r.q)
+		}
+		d, err := dist.FromWeights(w)
+		if err != nil {
+			return nil, fmt.Errorf("%w: vertex %d has no feasible proposal", ErrNoFeasibleStart, v)
+		}
+		r.proposal[v] = d
+	}
+	// CSR: acceptance factors toggling each vertex.
+	counts := make([]int32, r.n+1)
+	for _, af := range r.acc {
+		for _, v := range af.verts {
+			counts[v+1]++
+		}
+	}
+	r.accOff = make([]int32, r.n+1)
+	for v := 0; v < r.n; v++ {
+		r.accOff[v+1] = r.accOff[v] + counts[v+1]
+	}
+	r.accIdx = make([]int32, r.accOff[r.n])
+	fill := make([]int32, r.n)
+	copy(fill, r.accOff[:r.n])
+	for j, af := range r.acc {
+		for _, v := range af.verts {
+			r.accIdx[fill[v]] = int32(j)
+			fill[v]++
+		}
+	}
+	return r, nil
+}
+
+// ones returns a weight vector of q ones.
+func ones(q int) []float64 {
+	w := make([]float64, q)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// foldUnary multiplies into w the row of factor f as a function of v's
+// symbol, with every other scope vertex read from the pinning.
+func foldUnary(w []float64, f gibbs.Factor, pinned dist.Config, v int) error {
+	assign := make([]int, len(f.Scope))
+	for x := range w {
+		for j, u := range f.Scope {
+			if u == v {
+				assign[j] = x
+			} else {
+				if pinned[u] == dist.Unset {
+					return fmt.Errorf("scope vertex %d unexpectedly free", u)
+				}
+				assign[j] = pinned[u]
+			}
+		}
+		w[x] *= f.Eval(assign)
+	}
+	return nil
+}
+
+// Instance returns the instance the rules were compiled from.
+func (r *Rules) Instance() *gibbs.Instance { return r.in }
+
+// Engine returns the compiled evaluation engine shared by the samplers.
+func (r *Rules) Engine() *gibbs.Compiled { return r.eng }
+
+// N returns the number of vertices.
+func (r *Rules) N() int { return r.n }
+
+// Q returns the alphabet size.
+func (r *Rules) Q() int { return r.q }
+
+// Free reports whether v is unpinned.
+func (r *Rules) Free(v int) bool { return r.free[v] }
+
+// Start returns a feasible initial configuration (the greedy completion of
+// the pinning), mirroring the sequential chain's start so that mixing
+// comparisons share an initial state.
+func (r *Rules) Start() (dist.Config, error) {
+	start, err := r.eng.GreedyCompletion(r.in.Pinned)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
+	}
+	w, err := r.eng.Weight(start)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 {
+		return nil, ErrNoFeasibleStart
+	}
+	return start, nil
+}
+
+// Propose draws a LocalMetropolis proposal for vertex v: a fresh symbol
+// from the unary-weight distribution for free vertices, the pinned symbol
+// otherwise.
+func (r *Rules) Propose(v int, rng *rand.Rand) int {
+	if !r.free[v] {
+		return r.in.Pinned[v]
+	}
+	return r.proposal[v].Sample(rng)
+}
+
+// MetropolisReady reports whether the instance supports LocalMetropolis
+// (every acceptance factor is table-backed with a positive maximum); the
+// returned error describes the first obstruction.
+func (r *Rules) MetropolisReady() error { return r.accErr }
+
+// AccFactors returns the number of acceptance-filtered factors.
+func (r *Rules) AccFactors() int { return len(r.acc) }
+
+// AccAt returns the indices (into the acceptance-factor list) of the
+// factors toggling vertex v. The slice aliases internal state.
+func (r *Rules) AccAt(v int) []int32 {
+	return r.accIdx[r.accOff[v]:r.accOff[v+1]]
+}
+
+// FilterProb returns the probability with which acceptance factor j passes
+// the round's filter, given the current configuration old and the proposal
+// prop (both total).
+func (r *Rules) FilterProb(j int, old, prop dist.Config) (float64, error) {
+	af := &r.acc[j]
+	w, err := r.eng.FilterWeight(af.fi, old, prop, af.verts)
+	if err != nil {
+		return 0, err
+	}
+	return w * af.scale, nil
+}
+
+// winsPhase reports whether free vertex v wins the round's Luby phase: its
+// draw beats the draw of every free neighbor (construct.Beats is the single
+// source of truth for the phase rule, shared with the MIS construction).
+func (r *Rules) winsPhase(v int, draws []float64, neighbors []int) bool {
+	for _, u := range neighbors {
+		if r.free[u] && construct.Beats(draws[u], u, draws[v], v) {
+			return false
+		}
+	}
+	return true
+}

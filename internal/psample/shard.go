@@ -1,0 +1,109 @@
+package psample
+
+// shard.go is the direct in-process execution substrate shared by the two
+// sharded sampler engines: a static block partition of vertices (and
+// factors) across a bounded worker pool, with a reusable generation
+// barrier between the stages of each round. With one worker the stage
+// functions run inline — no goroutines, no barriers — so small instances
+// and single-CPU machines pay zero synchronization overhead.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers picks the worker count for an instance with total work
+// items: one worker per available CPU, but never so many that a worker's
+// block drops below minBlock items (barrier crossings would dominate).
+func defaultWorkers(total int) int {
+	const minBlock = 64
+	w := min(runtime.GOMAXPROCS(0), total/minBlock)
+	return max(w, 1)
+}
+
+// blockOf returns worker w's half-open item range under the static
+// partition of total items across workers blocks.
+func blockOf(total, workers, w int) (lo, hi int) {
+	return total * w / workers, total * (w + 1) / workers
+}
+
+// barrier is a reusable generation barrier for a fixed party count.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties have arrived, then releases them together.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+}
+
+// runRounds executes rounds iterations of the stage functions on the given
+// number of workers. Within a round every worker runs stage 0 on its own
+// blocks, crosses a barrier, runs stage 1, and so on — so a stage may read
+// anything written by earlier stages of the same round but two workers
+// never write the same item (the static partition guarantees it). A stage
+// error aborts the work (remaining stages become no-ops on every worker)
+// and the first error observed is returned.
+func runRounds(workers, rounds int, stages []func(w, round int) error) error {
+	if workers <= 1 {
+		for r := 0; r < rounds; r++ {
+			for _, stage := range stages {
+				if err := stage(0, r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	bar := newBarrier(workers)
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds && !failed.Load(); r++ {
+				for _, stage := range stages {
+					if errs[w] == nil && !failed.Load() {
+						if err := stage(w, r); err != nil {
+							errs[w] = err
+							failed.Store(true)
+						}
+					}
+					bar.await()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
