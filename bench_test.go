@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netdecomp"
 	"repro/internal/psample"
+	"repro/internal/sampler"
 )
 
 // reportTable runs an experiment builder once per iteration and surfaces a
@@ -400,65 +402,69 @@ func benchSamplerSetup(b *testing.B) (*gibbs.Instance, *psample.Rules) {
 	return in, rules
 }
 
-// BenchmarkSamplerSweep compares one sweep-equivalent of the three
-// dynamics on the same instance: n sequential heat-bath updates for
-// glauber.Chain, Δ+1 LubyGlauber rounds (a vertex wins a phase with
-// probability ≥ 1/(Δ+1), so Δ+1 rounds perform ≈ n updates), and one
-// LocalMetropolis round (every vertex proposes). The sharded engines run
-// on the default worker pool — on a multi-core machine they spread the
-// sweep across CPUs while the sequential baseline cannot.
+// BenchmarkSamplerSweep compares one sweep-equivalent of every registered
+// dynamic on the same instance, selected through the internal/sampler
+// registry: n sequential heat-bath updates for glauber, Δ+1 LubyGlauber
+// phases (a vertex wins a phase with probability ≥ 1/(Δ+1), so Δ+1 rounds
+// perform ≈ n updates), one LocalMetropolis round (every vertex proposes),
+// and one χ-stage ChromaticGlauber sweep. The sharded engines run on the
+// default worker pool — on a multi-core machine they spread the sweep
+// across CPUs while the sequential baseline cannot.
 func BenchmarkSamplerSweep(b *testing.B) {
-	in, rules := benchSamplerSetup(b)
-	n := in.N()
-	delta := in.Spec.G.MaxDegree()
-	b.Run("glauber-seq", func(b *testing.B) {
-		chain, err := glauber.New(in)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rng := rand.New(rand.NewSource(11))
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := chain.Run(n, rng); err != nil {
+	in, _ := benchSamplerSetup(b)
+	for _, name := range sampler.Names() {
+		b.Run(name, func(b *testing.B) {
+			s, err := sampler.New(name, in, 11)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("lubyglauber-sharded", func(b *testing.B) {
-		s, err := psample.NewLubyGlauber(rules, 11)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := s.Run(delta + 1); err != nil {
+			sweep, err := sampler.SweepRounds(name, in)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		b.StopTimer()
-		if r := s.Rounds(); r > 0 {
-			b.ReportMetric(float64(s.Updates())/float64(r), "updates/round")
-		}
-	})
-	b.Run("localmetropolis-sharded", func(b *testing.B) {
-		s, err := psample.NewLocalMetropolis(rules, 11)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := s.Run(1); err != nil {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(sweep); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if u, ok := s.(interface{ Updates() int64 }); ok && s.Rounds() > 0 {
+				b.ReportMetric(float64(u.Updates())/float64(s.Rounds()), "updates/round")
+			}
+			if a, ok := s.(interface{ Accepts() int64 }); ok && s.Rounds() > 0 {
+				b.ReportMetric(float64(a.Accepts())/float64(s.Rounds()), "accepts/round")
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSweep measures the batched multi-chain engine on the same
+// 576-vertex torus: one full chromatic sweep of B independent chains per
+// iteration. The headline metric is ns/chain-sweep — the amortized cost of
+// sweeping one chain — which must drop as B grows: the per-vertex factor
+// walk, mixed-radix index computation, and table cache misses are shared
+// across the B chains of a vertex block.
+func BenchmarkBatchSweep(b *testing.B) {
+	_, rules := benchSamplerSetup(b)
+	for _, B := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			bt, err := sampler.NewBatch(rules, B, 11)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		b.StopTimer()
-		if r := s.Rounds(); r > 0 {
-			b.ReportMetric(float64(s.Accepts())/float64(r), "accepts/round")
-		}
-	})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bt.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/chain-sweep")
+		})
+	}
 }
 
 // BenchmarkLubyGlauberLOCAL measures the message-passing harness (4 rounds

@@ -3,18 +3,26 @@
 // on stdout, for the CI perf-tracking artifact (BENCH_pr.json):
 //
 //	go test -json -run=NONE -bench=. -benchtime=1x -benchmem ./... \
-//	    | benchjson > BENCH_pr.json
+//	    | benchjson -baseline BENCH_main.json > BENCH_pr.json
 //
 // Every benchmark result line becomes one record carrying all reported
 // metrics (ns/op, B/op, allocs/op, and any b.ReportMetric custom units).
 // Benchmark output lines are echoed to stderr so the CI log keeps the
 // human-readable smoke run, and the tool exits nonzero if any package
 // failed — the conversion never masks a broken benchmark.
+//
+// With -baseline, the run is also compared against a committed report
+// (BENCH_main.json at the repo root, regenerated each time a PR lands):
+// a per-benchmark ns/op delta table goes to stderr, along with benchmarks
+// that appear only in one of the two reports. The deltas are informational
+// — a 1x smoke run is noisy — but they make the perf trajectory visible on
+// every PR instead of only inside downloaded artifacts.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -53,6 +61,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	baseline := flag.String("baseline", "", "committed report to diff against (per-benchmark ns/op deltas on stderr)")
+	flag.Parse()
 	report, failed, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -64,19 +74,92 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			// A missing or unreadable baseline must not fail the run: the
+			// delta is informational and the baseline only exists from the
+			// PR that introduced it onward.
+			fmt.Fprintln(os.Stderr, "benchjson: no baseline diff:", err)
+		} else {
+			printDelta(os.Stderr, base, report)
+		}
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchjson: one or more packages failed")
 		os.Exit(1)
 	}
 }
 
+// readReport loads a previously written artifact.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// printDelta writes the per-benchmark ns/op comparison of cur against
+// base: one line per benchmark present in both, plus the names only one
+// report has. Benchmarks are keyed by package + name (including sub-
+// benchmark paths).
+func printDelta(w io.Writer, base, cur *Report) {
+	key := func(r Result) string { return r.Package + " " + r.Name }
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[key(r)] = r
+	}
+	fmt.Fprintln(w, "benchjson: ns/op vs baseline (1x smoke run — informational)")
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		k := key(r)
+		seen[k] = true
+		b, ok := baseBy[k]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-60s %12.0f ns/op\n", r.Name, r.Metrics["ns/op"])
+			continue
+		}
+		old, oldOK := b.Metrics["ns/op"]
+		now, nowOK := r.Metrics["ns/op"]
+		if !oldOK || !nowOK || old == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %+7.1f%% %-60s %12.0f -> %.0f ns/op\n", 100*(now-old)/old, r.Name, old, now)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[key(b)] {
+			fmt.Fprintf(w, "  missing  %-60s (was %.0f ns/op)\n", b.Name, b.Metrics["ns/op"])
+		}
+	}
+}
+
 // parse consumes the event stream, echoing benchmark-relevant output lines
 // to echo, and reports whether any package failed.
+//
+// Output events are reassembled into lines per package before matching:
+// `go test` prints a benchmark's name first and appends the numbers only
+// when it finishes, so for any benchmark that is slow enough test2json
+// flushes the two halves as separate Output events — treating each event
+// as a complete line silently drops every slow benchmark from the report.
 func parse(r io.Reader, echo io.Writer) (*Report, bool, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	report := &Report{Benchmarks: []Result{}}
 	failed := false
+	carry := make(map[string]string)
+	handleLine := func(pkg, line string) {
+		res, ok := parseBenchLine(pkg, strings.TrimSpace(line))
+		if !ok {
+			return
+		}
+		fmt.Fprintf(echo, "%s\t%s\n", pkg, line)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -91,13 +174,21 @@ func parse(r io.Reader, echo io.Writer) (*Report, bool, error) {
 		case "fail":
 			failed = true
 		case "output":
-			out := strings.TrimRight(ev.Output, "\n")
-			res, ok := parseBenchLine(ev.Package, strings.TrimSpace(out))
-			if !ok {
-				continue
+			text := carry[ev.Package] + ev.Output
+			for {
+				i := strings.IndexByte(text, '\n')
+				if i < 0 {
+					break
+				}
+				handleLine(ev.Package, text[:i])
+				text = text[i+1:]
 			}
-			fmt.Fprintf(echo, "%s\t%s\n", ev.Package, out)
-			report.Benchmarks = append(report.Benchmarks, res)
+			carry[ev.Package] = text
+		}
+	}
+	for pkg, rest := range carry {
+		if rest != "" {
+			handleLine(pkg, rest)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -82,5 +84,99 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		if _, ok := parseBenchLine("p", line); ok {
 			t.Errorf("line %q accepted", line)
 		}
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 7}},
+		{Package: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 150}},
+		{Package: "p", Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 5}},
+		{Package: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 25}},
+	}}
+	var out bytes.Buffer
+	printDelta(&out, base, cur)
+	s := out.String()
+	for _, want := range []string{"+50.0%", "-50.0%", "new", "BenchmarkNew", "missing", "BenchmarkGone"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("delta output missing %q:\n%s", want, s)
+		}
+	}
+	// Same-package benchmarks with the same name in different packages must
+	// not be conflated: q's BenchmarkA halved while p's grew.
+	if strings.Count(s, "BenchmarkA") != 2 {
+		t.Errorf("expected both package entries for BenchmarkA:\n%s", s)
+	}
+}
+
+func TestReadReportRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.json"
+	want := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkA", Iterations: 3, Metrics: map[string]float64{"ns/op": 12}},
+	}}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].Metrics["ns/op"] != 12 {
+		t.Errorf("roundtrip = %+v", got)
+	}
+	if _, err := readReport(dir + "/missing.json"); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(path); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+}
+
+// TestParseSplitBenchLine is the regression test for slow benchmarks:
+// `go test` prints the name first and the numbers when the benchmark
+// finishes, so test2json emits the halves as separate Output events. The
+// parser must reassemble them (per package) instead of dropping the
+// benchmark.
+func TestParseSplitBenchLine(t *testing.T) {
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkSlow-8   \t"}
+{"Action":"output","Package":"q","Output":"BenchmarkOther-8 \t 3\t 7 ns/op\n"}
+{"Action":"output","Package":"p","Output":" 1\t 123456789 ns/op\t 5.5 tables/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkTail-8 \t 2\t 42 ns/op"}
+{"Action":"pass","Package":"p"}
+`
+	var echo bytes.Buffer
+	report, failed, err := parse(strings.NewReader(stream), &echo)
+	if err != nil || failed {
+		t.Fatal(err, failed)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %+v, want 3", report.Benchmarks)
+	}
+	by := map[string]Result{}
+	for _, r := range report.Benchmarks {
+		by[r.Name] = r
+	}
+	slow, ok := by["BenchmarkSlow"]
+	if !ok || slow.Metrics["ns/op"] != 123456789 || slow.Metrics["tables/op"] != 5.5 {
+		t.Errorf("split line not reassembled: %+v", slow)
+	}
+	// A line left without a trailing newline at stream end still counts.
+	if tail, ok := by["BenchmarkTail"]; !ok || tail.Metrics["ns/op"] != 42 {
+		t.Errorf("unterminated final line dropped: %+v", tail)
+	}
+	if _, ok := by["BenchmarkOther"]; !ok {
+		t.Error("interleaved package line lost")
 	}
 }

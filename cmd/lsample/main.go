@@ -1,8 +1,10 @@
 // Command lsample draws a sample from a Gibbs model on a generated graph
 // using the distributed samplers of the paper: the exact local-JVV sampler
-// (Theorem 4.2), the approximate sequential sampler (Theorem 3.2), or the
-// Section 1.2 parallel dynamics (LubyGlauber / LocalMetropolis) run on the
-// sharded in-process engine, with sequential Glauber as the baseline.
+// (Theorem 4.2), the approximate sequential sampler (Theorem 3.2), or any
+// dynamics from the internal/sampler registry (glauber, luby, metropolis,
+// chromatic) run on the sharded in-process engines. -chains runs the
+// batched multi-chain engine: B independent chromatic chains advanced in
+// lockstep over one shared compiled engine.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	lsample -model hardcore -graph torus -n 16 -algo luby -rounds 200
 //	lsample -model coloring -graph grid -n 10 -q 6 -algo metropolis
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
+//	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
 package main
 
 import (
@@ -25,10 +28,10 @@ import (
 	"repro/internal/decay"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
-	"repro/internal/glauber"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/psample"
+	"repro/internal/sampler"
 )
 
 func main() {
@@ -51,6 +54,7 @@ type options struct {
 	algo    string
 	rounds  int
 	sweeps  int
+	chains  int
 }
 
 func run(args []string, out *os.File) error {
@@ -65,9 +69,10 @@ func run(args []string, out *os.File) error {
 	fs.Int64Var(&o.seed, "seed", 1, "random seed")
 	fs.StringVar(&o.sampler, "sampler", "jvv", "sampler: jvv (exact) | seq (approximate)")
 	fs.Float64Var(&o.delta, "delta", 0.01, "TV error for the approximate sampler")
-	fs.StringVar(&o.algo, "algo", "", "parallel dynamics instead of -sampler: luby | metropolis | glauber")
-	fs.IntVar(&o.rounds, "rounds", 0, "rounds for -algo luby/metropolis (0 = heuristic default)")
-	fs.IntVar(&o.sweeps, "sweeps", 64, "sweeps for -algo glauber")
+	fs.StringVar(&o.algo, "algo", "", "dynamics instead of -sampler: "+strings.Join(sampler.Names(), " | "))
+	fs.IntVar(&o.rounds, "rounds", 0, "rounds for -algo (0 = -sweeps sweep-equivalents)")
+	fs.IntVar(&o.sweeps, "sweeps", 64, "sweep-equivalents for -algo when -rounds is 0")
+	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched engine (-algo chromatic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +88,9 @@ func run(args []string, out *os.File) error {
 
 	if o.algo != "" {
 		return runAlgo(out, in, render, o)
+	}
+	if o.chains > 1 {
+		return fmt.Errorf("-chains %d needs -algo chromatic; the -sampler path draws one exact/approximate sample", o.chains)
 	}
 
 	oracle, err := buildOracle(g, mm, o)
@@ -113,66 +121,76 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// runAlgo runs the -algo path: the parallel dynamics on the sharded
-// in-process engine, or the sequential Glauber baseline. All degree-based
-// heuristics use the instance's interaction graph, which differs from the
-// input graph for the matching model (a vertex model on the line graph).
+// runAlgo runs the -algo path: any dynamics from the internal/sampler
+// registry, or the batched multi-chain engine when -chains > 1. All
+// degree-based heuristics use the instance's interaction graph, which
+// differs from the input graph for the matching model (a vertex model on
+// the line graph).
 func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, o options) error {
 	algo := strings.ToLower(o.algo)
+	if _, ok := sampler.Lookup(algo); !ok {
+		return fmt.Errorf("unknown algo %q (have %s)", o.algo, strings.Join(sampler.Names(), " | "))
+	}
 	delta := in.Spec.G.MaxDegree()
 	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", o.model, o.graph, in.N(), delta, algo)
-	switch algo {
-	case "glauber":
-		rng := rand.New(rand.NewSource(o.seed))
-		chain, err := glauber.New(in)
-		if err != nil {
-			return err
-		}
-		if err := chain.Run(o.sweeps*max(1, in.N()), rng); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "sweeps=%d updates=%d\n", o.sweeps, chain.Steps())
-		fmt.Fprintln(out, render(chain.State()))
-		return nil
-	case "luby", "metropolis":
-		rules, err := psample.NewRules(in)
-		if err != nil {
-			return err
-		}
-		rounds := o.rounds
-		if algo == "luby" {
-			if rounds <= 0 {
-				// ~16 sweep-equivalents: a vertex is selected with
-				// probability ≥ 1/(Δ+1) per round.
-				rounds = 16 * (delta + 1)
-			}
-			s, err := psample.NewLubyGlauber(rules, o.seed)
-			if err != nil {
-				return err
-			}
-			if err := s.Run(rounds); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "rounds=%d updates=%d\n", s.Rounds(), s.Updates())
-			fmt.Fprintln(out, render(s.State()))
-			return nil
-		}
-		if rounds <= 0 {
-			rounds = 200
-		}
-		s, err := psample.NewLocalMetropolis(rules, o.seed)
-		if err != nil {
-			return err
-		}
-		if err := s.Run(rounds); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "rounds=%d accepts=%d\n", s.Rounds(), s.Accepts())
-		fmt.Fprintln(out, render(s.State()))
-		return nil
-	default:
-		return fmt.Errorf("unknown algo %q", o.algo)
+	sweep, err := sampler.SweepRounds(algo, in)
+	if err != nil {
+		return err
 	}
+	rounds := o.rounds
+	if rounds <= 0 {
+		rounds = max(o.sweeps, 1) * sweep
+	}
+	if o.chains > 1 {
+		return runBatch(out, in, render, algo, rounds, o)
+	}
+	s, err := sampler.New(algo, in, o.seed)
+	if err != nil {
+		return err
+	}
+	if err := s.Run(rounds); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rounds=%d%s\n", s.Rounds(), samplerStats(s))
+	fmt.Fprintln(out, render(s.State()))
+	return nil
+}
+
+// runBatch runs B independent chains of the chromatic dynamics in
+// lockstep on the batched engine and renders the first chain (every chain
+// is an equally valid sample; the point of the batch is throughput per
+// chain, reported by BenchmarkBatchSweep).
+func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string, algo string, rounds int, o options) error {
+	if algo != "chromatic" {
+		return fmt.Errorf("-chains %d needs -algo chromatic (the batched engine runs the deterministic chromatic schedule); got -algo %s", o.chains, algo)
+	}
+	rules, err := psample.NewRules(in)
+	if err != nil {
+		return err
+	}
+	b, err := sampler.NewBatch(rules, o.chains, o.seed)
+	if err != nil {
+		return err
+	}
+	if err := b.Run(rounds); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rounds=%d chains=%d stages/sweep=%d\n", b.Rounds(), b.Chains(), len(b.Classes()))
+	fmt.Fprintln(out, render(b.Chain(0)))
+	return nil
+}
+
+// samplerStats surfaces the optional per-dynamic counters through the
+// uniform interface.
+func samplerStats(s sampler.Sampler) string {
+	var b strings.Builder
+	if u, ok := s.(interface{ Updates() int64 }); ok {
+		fmt.Fprintf(&b, " updates=%d", u.Updates())
+	}
+	if a, ok := s.(interface{ Accepts() int64 }); ok {
+		fmt.Fprintf(&b, " accepts=%d", a.Accepts())
+	}
+	return b.String()
 }
 
 func buildGraph(kind string, n int) (*graph.Graph, error) {

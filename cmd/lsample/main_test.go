@@ -71,6 +71,10 @@ func TestRunAlgos(t *testing.T) {
 		{"-model", "hardcore", "-graph", "path", "-n", "10", "-algo", "glauber", "-sweeps", "10"},
 		// -algo does not require the uniqueness regime: λ above λc is fine.
 		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-lambda", "50", "-algo", "luby"},
+		// The registry dynamics and the batched engine.
+		{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-algo", "chromatic", "-sweeps", "20"},
+		{"-model", "ising", "-graph", "torus", "-n", "4", "-beta", "0.7", "-algo", "chromatic", "-chains", "8", "-sweeps", "10"},
+		{"-model", "coloring", "-graph", "grid", "-n", "3", "-q", "6", "-algo", "chromatic", "-chains", "3", "-rounds", "15"},
 	}
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -84,5 +88,13 @@ func TestRunAlgos(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "nosuch", "-n", "6"}, devnull); err == nil {
 		t.Error("bogus -algo accepted")
+	}
+	// The batched engine runs the chromatic schedule only.
+	if err := run([]string{"-algo", "luby", "-chains", "4", "-n", "6"}, devnull); err == nil {
+		t.Error("-chains with -algo luby accepted")
+	}
+	// ... and -chains without -algo must be rejected, not silently ignored.
+	if err := run([]string{"-sampler", "jvv", "-chains", "4", "-n", "6"}, devnull); err == nil {
+		t.Error("-chains with -sampler accepted")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/local"
 )
@@ -76,7 +77,10 @@ func LubyMIS(net *local.Network, seed int64, maxPhases int) (*MISResult, error) 
 	}
 	rngs := make([]*rand.Rand, n)
 	for v := 0; v < n; v++ {
-		rngs[v] = rand.New(rand.NewSource(seed ^ int64(v)*0x5E3779B97F4A7C15))
+		// One SplitMix64-derived stream per node: raw seed^v*K seeding
+		// feeds correlated values into math/rand, and Luby's convergence
+		// argument needs independent per-node coins.
+		rngs[v] = dist.SeedStream(seed, int64(v))
 	}
 	init := func(v int) any {
 		st := &lubyState{liveNeighbors: make(map[int]bool)}

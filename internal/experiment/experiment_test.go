@@ -354,7 +354,7 @@ func TestE12ParallelDynamicsMix(t *testing.T) {
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	for _, col := range []int{3, 5} { // luby TV, metro TV
+	for _, col := range []int{3, 5, 7} { // luby TV, metro TV, chrom TV
 		start := cell(t, tab, 0, col)
 		end := cell(t, tab, len(tab.Rows)-1, col)
 		if end > 0.5*start {

@@ -1,0 +1,134 @@
+package gibbs
+
+// batch_test.go pins the batched conditional kernel to the single-chain
+// one: CondWeightsBatch over a chain-major batch must agree exactly
+// (bit-for-bit on the table path) with CondWeights called once per chain,
+// on both the dense-table and closure fallback paths.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// batchSpec builds a spec mixing unary, pairwise, and arity-3 factors on a
+// small clique-friendly graph.
+func batchSpec(t *testing.T) *Spec {
+	t.Helper()
+	g := graph.New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}, {1, 3}} {
+		g.MustAddEdge(e[0], e[1])
+	}
+	q := 3
+	tri := make([]float64, 27)
+	for i := range tri {
+		tri[i] = 0.2 + float64(i%7)*0.13
+	}
+	pair := []float64{1, 0.5, 0.25, 0.5, 1, 0.5, 0.25, 0.5, 1}
+	factors := []Factor{
+		{Scope: []int{0, 1, 2}, Table: tri, Name: "tri"},
+		{Scope: []int{1, 3}, Table: pair, Name: "p13"},
+		{Scope: []int{3, 4}, Table: pair, Name: "p34"},
+		UnaryTable(2, []float64{1, 2, 0.5}, "field"),
+		{Scope: []int{2, 3}, Eval: func(a []int) float64 {
+			return 1 / (1 + float64(a[0]+2*a[1]))
+		}, Name: "closure23"},
+	}
+	s, err := NewSpec(g, q, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testBatchAgainstSingle(t *testing.T, eng *Compiled) {
+	t.Helper()
+	n, q := eng.N(), eng.Q()
+	rng := rand.New(rand.NewSource(9))
+	const B = 7
+	chains := make([]dist.Config, B)
+	for c := range chains {
+		chains[c] = dist.NewConfig(n)
+		for v := range chains[c] {
+			chains[c][v] = rng.Intn(q)
+		}
+	}
+	vals, err := PackChains(chains, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewBatchScratch(B)
+	buf := make([]float64, B*q)
+	single := make([]float64, q)
+	for v := 0; v < n; v++ {
+		for _, span := range [][2]int{{0, B}, {2, 5}, {B - 1, B}} {
+			c0, c1 := span[0], span[1]
+			got, err := eng.CondWeightsBatch(vals, B, v, c0, c1, buf, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := c0; c < c1; c++ {
+				want, err := eng.CondWeights(chains[c], v, single)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for x := 0; x < q; x++ {
+					if got[(c-c0)*q+x] != want[x] {
+						t.Fatalf("v=%d chain=%d span=[%d,%d) x=%d: batch %v != single %v",
+							v, c, c0, c1, x, got[(c-c0)*q+x], want[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCondWeightsBatchMatchesSingle(t *testing.T) {
+	s := batchSpec(t)
+	t.Run("tabled", func(t *testing.T) { testBatchAgainstSingle(t, Compile(s)) })
+	// A cap of 0 forces every closure factor onto the fallback path while
+	// explicit tables stay tabled — both kernel paths in one batch.
+	t.Run("closure-fallback", func(t *testing.T) { testBatchAgainstSingle(t, CompileCap(s, 0)) })
+}
+
+func TestCondWeightsBatchRejectsBadInput(t *testing.T) {
+	eng := Compile(batchSpec(t))
+	n, q := eng.N(), eng.Q()
+	const B = 3
+	vals := make([]int, n*B)
+	buf := make([]float64, B*q)
+	if _, err := eng.CondWeightsBatch(vals, B, -1, 0, B, buf, nil); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := eng.CondWeightsBatch(vals, B, 0, 2, 1, buf, nil); err == nil {
+		t.Error("empty chain range accepted")
+	}
+	if _, err := eng.CondWeightsBatch(vals[:n], B, 0, 0, B, buf, nil); err == nil {
+		t.Error("short state accepted")
+	}
+	if _, err := eng.CondWeightsBatch(vals, B, 0, 0, B, buf[:1], nil); err == nil {
+		t.Error("short buffer accepted")
+	}
+	vals[1*B+2] = dist.Unset
+	if _, err := eng.CondWeightsBatch(vals, B, 0, 0, B, buf, nil); err == nil {
+		t.Error("unassigned neighbor accepted")
+	}
+}
+
+func TestPackUnpackChains(t *testing.T) {
+	chains := []dist.Config{{0, 1, 2}, {2, 0, 1}}
+	vals, err := PackChains(chains, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range chains {
+		if got := UnpackChain(vals, 2, 3, c); !got.Equal(chains[c]) {
+			t.Errorf("chain %d roundtrips to %v", c, got)
+		}
+	}
+	if _, err := PackChains([]dist.Config{{0, 1}}, 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -71,6 +71,19 @@ func (c *Chain) State() dist.Config { return c.state.Clone() }
 // Steps returns the number of single-site updates performed.
 func (c *Chain) Steps() int { return c.steps }
 
+// Reset restarts the chain from the greedy feasible completion of the
+// instance pinning and zeroes the step counter, mirroring the Reset of the
+// distributed engines so all dynamics restart the same way.
+func (c *Chain) Reset() error {
+	start, err := c.eng.GreedyCompletion(c.in.Pinned)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
+	}
+	c.state = start
+	c.steps = 0
+	return nil
+}
+
 // HeatBath performs one heat-bath update at vertex v in place: the
 // conditional distribution of v given the rest of state is proportional to
 // the product of the factors containing v (all other factors cancel),

@@ -1,0 +1,67 @@
+package graph
+
+// coloring.go: deterministic greedy proper coloring, the schedule builder
+// of the chromatic sampler engines. Vertices of one color class form an
+// independent set, so all of them may perform simultaneous heat-bath
+// updates (they share no factor when factor scopes are cliques), giving a
+// deterministic O(χ_greedy) ≤ Δ+1 stages-per-sweep schedule.
+
+// GreedyColoring returns a proper coloring of the graph by the standard
+// greedy rule in vertex order (each vertex takes the smallest color absent
+// from its already-colored neighbors), together with the number of colors
+// used. The coloring is deterministic and uses at most Δ+1 colors; classes
+// are non-empty and indexed 0..k−1.
+func (g *Graph) GreedyColoring() (colors []int, k int) {
+	colors = make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, g.MaxDegree()+1)
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if c := colors[u]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > k {
+			k = c + 1
+		}
+		for _, u := range g.Neighbors(v) {
+			if cu := colors[u]; cu >= 0 {
+				used[cu] = false
+			}
+		}
+	}
+	return colors, k
+}
+
+// ColorClasses groups 0..n−1 by the given coloring (as returned by
+// GreedyColoring), skipping vertices whose color is negative — callers use
+// that to drop pinned vertices from a sampler schedule. Classes preserve
+// vertex order and empty classes are elided.
+func ColorClasses(colors []int) [][]int {
+	k := 0
+	for _, c := range colors {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	classes := make([][]int, k)
+	for v, c := range colors {
+		if c >= 0 {
+			classes[c] = append(classes[c], v)
+		}
+	}
+	out := classes[:0]
+	for _, cl := range classes {
+		if len(cl) > 0 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}

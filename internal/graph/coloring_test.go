@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func TestGreedyColoringProper(t *testing.T) {
+	cases := map[string]*Graph{
+		"cycle5":  Cycle(5),
+		"cycle6":  Cycle(6),
+		"path1":   Path(1),
+		"torus":   Torus(4, 4),
+		"grid":    Grid(3, 5),
+		"k5":      Complete(5),
+		"empty":   New(4),
+		"star":    Star(6),
+		"bintree": CompleteTree(2, 3),
+	}
+	for name, g := range cases {
+		colors, k := g.GreedyColoring()
+		if len(colors) != g.N() {
+			t.Fatalf("%s: %d colors for %d vertices", name, len(colors), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if colors[v] < 0 || colors[v] >= k {
+				t.Fatalf("%s: color %d out of range [0,%d)", name, colors[v], k)
+			}
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == colors[v] {
+					t.Fatalf("%s: edge (%d,%d) monochromatic", name, v, u)
+				}
+			}
+		}
+		if g.N() > 0 && k > g.MaxDegree()+1 {
+			t.Errorf("%s: %d colors exceeds Δ+1 = %d", name, k, g.MaxDegree()+1)
+		}
+		classes := ColorClasses(colors)
+		seen := 0
+		for _, cl := range classes {
+			seen += len(cl)
+		}
+		if seen != g.N() {
+			t.Errorf("%s: classes cover %d of %d vertices", name, seen, g.N())
+		}
+	}
+}
+
+func TestGreedyColoringTightCases(t *testing.T) {
+	if _, k := Cycle(6).GreedyColoring(); k != 2 {
+		t.Errorf("even cycle colored with %d colors, want 2", k)
+	}
+	if _, k := Complete(4).GreedyColoring(); k != 4 {
+		t.Errorf("K4 colored with %d colors, want 4", k)
+	}
+	if _, k := New(3).GreedyColoring(); k != 1 {
+		t.Errorf("empty graph colored with %d colors, want 1", k)
+	}
+}
+
+func TestColorClassesSkipsNegative(t *testing.T) {
+	classes := ColorClasses([]int{0, -1, 1, 0, -1})
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	if len(classes[0]) != 2 || classes[0][0] != 0 || classes[0][1] != 3 {
+		t.Errorf("class 0 = %v", classes[0])
+	}
+	if len(classes[1]) != 1 || classes[1][0] != 2 {
+		t.Errorf("class 1 = %v", classes[1])
+	}
+}

@@ -78,7 +78,7 @@ func (s *LubyGlauber) ensureWorkers(w int) {
 	for len(s.workers) < w {
 		i := len(s.workers)
 		s.workers = append(s.workers, lgWorker{
-			rng:  rand.New(rand.NewSource(s.seed + int64(i)*0x5E3779B97F4A7C15)),
+			rng:  dist.SeedStream(s.seed, int64(i)),
 			cond: make([]float64, s.rules.q),
 		})
 	}
@@ -89,7 +89,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 	r := s.rules
 	workers := s.Workers
 	if workers <= 0 {
-		workers = defaultWorkers(r.n)
+		workers = DefaultWorkers(r.n)
 	}
 	workers = max(min(workers, r.n), 1)
 	s.ensureWorkers(workers)
@@ -97,7 +97,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 	updates := make([]int64, workers)
 	stages := []func(w, round int) error{
 		func(w, round int) error {
-			lo, hi := blockOf(r.n, workers, w)
+			lo, hi := BlockOf(r.n, workers, w)
 			rng := s.workers[w].rng
 			for v := lo; v < hi; v++ {
 				if r.free[v] {
@@ -107,7 +107,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 			return nil
 		},
 		func(w, round int) error {
-			lo, hi := blockOf(r.n, workers, w)
+			lo, hi := BlockOf(r.n, workers, w)
 			wk := &s.workers[w]
 			for v := lo; v < hi; v++ {
 				if !r.free[v] || !r.winsPhase(v, s.draws, g.Neighbors(v)) {
@@ -121,7 +121,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 			return nil
 		},
 	}
-	if err := runRounds(workers, rounds, stages); err != nil {
+	if err := RunRounds(workers, rounds, stages); err != nil {
 		return err
 	}
 	s.rounds += rounds

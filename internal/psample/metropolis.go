@@ -76,7 +76,7 @@ func (s *LocalMetropolis) Accepts() int64 { return s.accepts }
 func (s *LocalMetropolis) ensureWorkers(w int) {
 	for len(s.rngs) < w {
 		i := len(s.rngs)
-		s.rngs = append(s.rngs, rand.New(rand.NewSource(s.seed+int64(i)*0x5E3779B97F4A7C15)))
+		s.rngs = append(s.rngs, dist.SeedStream(s.seed, int64(i)))
 	}
 }
 
@@ -85,14 +85,14 @@ func (s *LocalMetropolis) Run(rounds int) error {
 	r := s.rules
 	workers := s.Workers
 	if workers <= 0 {
-		workers = defaultWorkers(r.n)
+		workers = DefaultWorkers(r.n)
 	}
 	workers = max(min(workers, r.n), 1)
 	s.ensureWorkers(workers)
 	accepts := make([]int64, workers)
 	stages := []func(w, round int) error{
 		func(w, round int) error {
-			lo, hi := blockOf(r.n, workers, w)
+			lo, hi := BlockOf(r.n, workers, w)
 			rng := s.rngs[w]
 			for v := lo; v < hi; v++ {
 				if r.free[v] {
@@ -104,7 +104,7 @@ func (s *LocalMetropolis) Run(rounds int) error {
 			return nil
 		},
 		func(w, round int) error {
-			lo, hi := blockOf(len(r.acc), workers, w)
+			lo, hi := BlockOf(len(r.acc), workers, w)
 			rng := s.rngs[w]
 			for j := lo; j < hi; j++ {
 				p, err := r.FilterProb(j, s.state, s.prop)
@@ -116,7 +116,7 @@ func (s *LocalMetropolis) Run(rounds int) error {
 			return nil
 		},
 		func(w, round int) error {
-			lo, hi := blockOf(r.n, workers, w)
+			lo, hi := BlockOf(r.n, workers, w)
 			for v := lo; v < hi; v++ {
 				if !r.free[v] {
 					continue
@@ -136,7 +136,7 @@ func (s *LocalMetropolis) Run(rounds int) error {
 			return nil
 		},
 	}
-	if err := runRounds(workers, rounds, stages); err != nil {
+	if err := RunRounds(workers, rounds, stages); err != nil {
 		return err
 	}
 	s.rounds += rounds

@@ -26,15 +26,16 @@ import (
 )
 
 // networkFor validates that the network matches the rules' interaction
-// graph and returns the per-node RNGs (private randomness, seeded from the
-// given seed exactly as construct.LubyMIS does).
+// graph and returns the per-node RNGs (private randomness: one
+// SplitMix64-derived stream per node, shared with the sharded engines via
+// dist.SeedStream so no harness hand-rolls its own seed arithmetic).
 func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) {
 	if net.G.N() != r.n {
 		return nil, fmt.Errorf("psample: network has %d nodes, instance has %d", net.G.N(), r.n)
 	}
 	rngs := make([]*rand.Rand, r.n)
 	for v := range rngs {
-		rngs[v] = rand.New(rand.NewSource(seed ^ int64(v)*0x5E3779B97F4A7C15))
+		rngs[v] = dist.SeedStream(seed, int64(v))
 	}
 	return rngs, nil
 }

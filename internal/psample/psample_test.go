@@ -8,6 +8,7 @@ package psample
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
@@ -237,6 +238,87 @@ func TestShardedMultiWorker(t *testing.T) {
 	}
 	if lg.Rounds() != 50 || lm.Rounds() != 50 {
 		t.Errorf("rounds = %d, %d, want 50", lg.Rounds(), lm.Rounds())
+	}
+}
+
+// TestShardedForcedWorkersSmall forces a multi-worker pool on instances so
+// small that DefaultWorkers would collapse them to the inline 1-worker
+// path, so the barrier and block-partition code runs under the race
+// detector even for tiny cases. Correctness is checked by feasibility and
+// pinning invariants after every batch.
+func TestShardedForcedWorkersSmall(t *testing.T) {
+	spec, err := model.Hardcore(graph.Cycle(7), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := dist.NewConfig(7)
+	pin[3] = model.Out
+	in, err := gibbs.NewInstance(spec, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRules(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5} {
+		lg, err := NewLubyGlauber(r, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg.Workers = workers
+		lm, err := NewLocalMetropolis(r, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm.Workers = workers
+		for _, s := range []sampler{lg, lm} {
+			for batch := 0; batch < 8; batch++ {
+				if err := s.Run(10); err != nil {
+					t.Fatal(err)
+				}
+				cfg := s.State()
+				if cfg[3] != model.Out {
+					t.Fatalf("workers=%d: pinning violated: %v", workers, cfg)
+				}
+				w, err := spec.Weight(cfg)
+				if err != nil || w <= 0 {
+					t.Fatalf("workers=%d: infeasible state %v (w=%v err=%v)", workers, cfg, w, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRulesRejectsWideFilterFactor pins the 1<<k overflow fix: a factor
+// with ≥ 63 free scope vertices must be rejected by NewRules with a
+// descriptive error instead of silently computing a garbage filter scale.
+func TestRulesRejectsWideFilterFactor(t *testing.T) {
+	const k = 63
+	g := graph.Complete(k)
+	scope := make([]int, k)
+	for i := range scope {
+		scope[i] = i
+	}
+	f := []gibbs.Factor{{
+		Scope: scope,
+		Eval:  func([]int) float64 { return 1 },
+		Name:  "wide",
+	}}
+	spec, err := gibbs.NewSpec(g, 2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRules(in)
+	if err == nil {
+		t.Fatal("63-free-vertex filter factor accepted")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("error %q does not describe the overflow", err)
 	}
 }
 

@@ -146,6 +146,13 @@ func NewRules(in *gibbs.Instance) (*Rules, error) {
 				return nil, fmt.Errorf("psample: factor %d (%s): %w", fi, f.Name, err)
 			}
 		default:
+			// The subset-product filter has 2^k − 1 terms over k toggled
+			// vertices; at k ≥ 63 the term count itself overflows int64 and
+			// the scale exponent silently becomes garbage, so such factors
+			// are rejected outright rather than deferred to accErr.
+			if k := len(freeVerts); k >= 63 {
+				return nil, fmt.Errorf("psample: factor %d (%s) has %d free scope vertices — the 2^k−1 subset-product filter overflows for k ≥ 63; split the factor", fi, f.Name, k)
+			}
 			af := accFactor{fi: fi, verts: freeVerts}
 			if m, ok := r.eng.TableMax(fi); !ok {
 				if r.accErr == nil {
@@ -156,7 +163,9 @@ func NewRules(in *gibbs.Instance) (*Rules, error) {
 					r.accErr = fmt.Errorf("psample: factor %d (%s) is identically zero", fi, f.Name)
 				}
 			} else {
-				terms := 1<<len(freeVerts) - 1
+				// int64, not int: the k ≥ 63 guard above leaves k up to 62,
+				// which still overflows a 32-bit int shift.
+				terms := int64(1)<<len(freeVerts) - 1
 				af.scale = math.Pow(1/m, float64(terms))
 			}
 			r.acc = append(r.acc, af)

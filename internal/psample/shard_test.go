@@ -1,0 +1,122 @@
+package psample
+
+// shard_test.go exercises the worker-pool substrate directly: the static
+// partition, the barrier ordering guarantees, error propagation, and the
+// panic-recovery path (a panicking stage must not strand the surviving
+// workers at the barrier).
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBlockOfCoversAll(t *testing.T) {
+	for _, total := range []int{0, 1, 5, 64, 577} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := BlockOf(total, workers, w)
+				if lo != prev {
+					t.Fatalf("BlockOf(%d,%d,%d) = [%d,%d): gap after %d", total, workers, w, lo, hi, prev)
+				}
+				if hi < lo {
+					t.Fatalf("BlockOf(%d,%d,%d) = [%d,%d): negative block", total, workers, w, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != total {
+				t.Fatalf("BlockOf(%d,%d,·) covers %d items", total, workers, prev)
+			}
+		}
+	}
+}
+
+// TestRunRoundsStageOrdering checks the barrier contract: across workers,
+// stage s+1 of a round never starts before every worker finished stage s.
+func TestRunRoundsStageOrdering(t *testing.T) {
+	const workers, rounds = 4, 25
+	var inStage [2]atomic.Int32
+	stages := []func(w, round int) error{
+		func(w, round int) error {
+			inStage[0].Add(1)
+			if inStage[1].Load() != 0 {
+				t.Error("stage 1 ran concurrently with stage 0")
+			}
+			inStage[0].Add(-1)
+			return nil
+		},
+		func(w, round int) error {
+			inStage[1].Add(1)
+			if inStage[0].Load() != 0 {
+				t.Error("stage 0 ran concurrently with stage 1")
+			}
+			inStage[1].Add(-1)
+			return nil
+		},
+	}
+	if err := RunRounds(workers, rounds, stages); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRoundsError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int32{}
+		err := RunRounds(workers, 10, []func(w, round int) error{
+			func(w, round int) error {
+				ran.Add(1)
+				if w == 0 && round == 2 {
+					return boom
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+// TestRunRoundsPanicRecovered is the regression test for the barrier
+// deadlock: before the fix, a stage panic killed its worker goroutine
+// mid-round and every surviving worker blocked forever at the next
+// barrier. The panic must come back as an error carrying the panic value,
+// within a bounded time.
+func TestRunRoundsPanicRecovered(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- RunRounds(4, 50, []func(w, round int) error{
+			func(w, round int) error { return nil },
+			func(w, round int) error {
+				if w == 2 && round == 3 {
+					panic("kaboom")
+				}
+				return nil
+			},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("err = %v, want recovered panic mentioning kaboom", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRounds deadlocked after a stage panic")
+	}
+}
+
+// TestRunRoundsPanicInline checks the 1-worker inline path too: the
+// contract (stage panics come back as errors) must not depend on the
+// worker count the DefaultWorkers heuristic happens to pick.
+func TestRunRoundsPanicInline(t *testing.T) {
+	err := RunRounds(1, 1, []func(w, round int) error{
+		func(w, round int) error { panic("inline") },
+	})
+	if err == nil || !strings.Contains(err.Error(), "inline") {
+		t.Fatalf("err = %v, want recovered panic mentioning inline", err)
+	}
+}

@@ -1,0 +1,202 @@
+package sampler
+
+// batch.go is the batched multi-chain engine: B independent chains over
+// one shared compiled engine, advanced in lockstep under the deterministic
+// chromatic schedule. The configurations live in a structure-of-arrays
+// layout (chain-major per vertex, vals[v*B+c]) so that updating one vertex
+// across all chains touches contiguous memory and amortizes the per-vertex
+// factor bookkeeping — the mixed-radix index computation and factor-table
+// cache misses that dominate single-chain sweeps (per the PR 2
+// measurements) are paid once per vertex instead of once per chain, which
+// is the single biggest throughput lever for many-chain workloads
+// (independent replicas for empirical TV estimates, R̂-style diagnostics,
+// or simply saturating a core with less bookkeeping).
+//
+// Correctness: a stage updates one greedy color class simultaneously in
+// every chain. Within a chain the class is an independent set of the
+// interaction graph, and factor scopes are cliques (enforced by
+// psample.NewRules), so no two simultaneous updates share a factor and the
+// stage is a product of ordinary heat-bath kernels — exactly the
+// LubyGlauber argument with the random independent set replaced by a
+// deterministic one. Across chains there is no interaction at all. The
+// psample worker pool (RunRounds) partitions the stage's chains×vertices
+// item grid statically across workers.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/psample"
+)
+
+// batchChainBlock is the number of chains one work item advances: chains
+// are processed in groups of this size so the conditional-weight buffer
+// stays small enough to live in L1 while still amortizing the per-vertex
+// factor walk across many chains.
+const batchChainBlock = 32
+
+// Batch advances B independent chains of ChromaticGlauber dynamics in
+// lockstep over one shared gibbs.Compiled engine.
+type Batch struct {
+	// Workers overrides the worker count when positive (default: one per
+	// CPU, bounded so per-stage blocks stay coarse).
+	Workers int
+
+	rules *psample.Rules
+	// chains is B, the number of independent chains.
+	chains int
+	// vals is the chain-major state: vals[v*chains+c] is chain c at v.
+	vals []int
+	// classes is the greedy-coloring schedule over free vertices.
+	classes [][]int
+	sweeps  int
+	workers []batchWorker
+	seed    int64
+}
+
+// batchWorker is the per-worker mutable state: an RNG stream and the
+// batched conditional-weight buffers.
+type batchWorker struct {
+	rng *rand.Rand
+	buf []float64
+	sc  *gibbs.BatchScratch
+}
+
+// NewBatch returns a batched engine of the given number of chains, every
+// chain started from the greedy feasible completion of the instance
+// pinning, with per-worker RNG streams derived from seed. The schedule is
+// the greedy proper coloring of the interaction graph restricted to free
+// vertices, so one sweep is at most Δ+1 barrier-separated stages.
+func NewBatch(r *psample.Rules, chains int, seed int64) (*Batch, error) {
+	if chains <= 0 {
+		return nil, fmt.Errorf("sampler: batch needs at least 1 chain, got %d", chains)
+	}
+	colors, _ := r.Instance().Spec.G.GreedyColoring()
+	for v := range colors {
+		if !r.Free(v) {
+			colors[v] = -1
+		}
+	}
+	b := &Batch{
+		rules:   r,
+		chains:  chains,
+		classes: graph.ColorClasses(colors),
+	}
+	if err := b.Reset(seed); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reset restarts every chain from the greedy start with fresh RNG streams.
+func (b *Batch) Reset(seed int64) error {
+	start, err := b.rules.Start()
+	if err != nil {
+		return err
+	}
+	n := b.rules.N()
+	if b.vals == nil {
+		b.vals = make([]int, n*b.chains)
+	}
+	for v := 0; v < n; v++ {
+		row := b.vals[v*b.chains : (v+1)*b.chains]
+		for c := range row {
+			row[c] = start[v]
+		}
+	}
+	b.seed = seed
+	b.sweeps = 0
+	b.workers = b.workers[:0]
+	return nil
+}
+
+// Chains returns B, the number of independent chains.
+func (b *Batch) Chains() int { return b.chains }
+
+// Classes returns the stage schedule (free vertices grouped by greedy
+// color). The slices alias engine state and must not be modified.
+func (b *Batch) Classes() [][]int { return b.classes }
+
+// Rounds returns the number of full sweeps executed since the last Reset.
+func (b *Batch) Rounds() int { return b.sweeps }
+
+// Chain returns a copy of chain c's current configuration.
+func (b *Batch) Chain(c int) dist.Config {
+	return gibbs.UnpackChain(b.vals, b.chains, b.rules.N(), c)
+}
+
+// ensureWorkers sizes the per-worker state for w workers.
+func (b *Batch) ensureWorkers(w int) {
+	cb := min(b.chains, batchChainBlock)
+	for len(b.workers) < w {
+		i := len(b.workers)
+		b.workers = append(b.workers, batchWorker{
+			rng: dist.SeedStream(b.seed, int64(i)),
+			buf: make([]float64, cb*b.rules.Q()),
+			sc:  gibbs.NewBatchScratch(cb),
+		})
+	}
+}
+
+// Run executes the given number of full sweeps; each sweep is one
+// barrier-separated stage per color class, and each stage advances every
+// chain at every vertex of the class. The worker pool statically
+// partitions the stage's (vertex, chain-group) item grid.
+func (b *Batch) Run(sweeps int) error {
+	if len(b.classes) == 0 {
+		// Fully pinned instance: a sweep is a no-op.
+		b.sweeps += sweeps
+		return nil
+	}
+	B := b.chains
+	cb := min(B, batchChainBlock)
+	groups := (B + cb - 1) / cb
+	maxItems := 0
+	for _, class := range b.classes {
+		maxItems = max(maxItems, len(class)*groups)
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		// Scale the worker heuristic by the scalar updates per item (one
+		// chain group ≈ cb single-vertex updates).
+		workers = psample.DefaultWorkers(maxItems * cb)
+	}
+	workers = max(min(workers, maxItems), 1)
+	b.ensureWorkers(workers)
+	eng := b.rules.Engine()
+	q := b.rules.Q()
+	stages := make([]func(w, round int) error, len(b.classes))
+	for k, class := range b.classes {
+		items := len(class) * groups
+		stages[k] = func(w, round int) error {
+			lo, hi := psample.BlockOf(items, workers, w)
+			wk := &b.workers[w]
+			for it := lo; it < hi; it++ {
+				v := class[it/groups]
+				c0 := (it % groups) * cb
+				c1 := min(c0+cb, B)
+				wbuf, err := eng.CondWeightsBatch(b.vals, B, v, c0, c1, wk.buf, wk.sc)
+				if err != nil {
+					return err
+				}
+				row := b.vals[v*B : (v+1)*B]
+				for c := c0; c < c1; c++ {
+					x, err := dist.SampleWeights(wbuf[(c-c0)*q:(c-c0+1)*q], wk.rng)
+					if err != nil {
+						return fmt.Errorf("sampler: heat-bath at vertex %d chain %d: %w", v, c, err)
+					}
+					row[c] = x
+				}
+			}
+			return nil
+		}
+	}
+	if err := psample.RunRounds(workers, sweeps, stages); err != nil {
+		return err
+	}
+	b.sweeps += sweeps
+	return nil
+}

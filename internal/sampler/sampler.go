@@ -1,0 +1,123 @@
+// Package sampler unifies every dynamics of the repo behind one interface
+// and one registry, and adds the batched multi-chain engine.
+//
+// The paper (Feng & Yin, PODC 2018) gives several dynamics with the same
+// stationary Gibbs distribution — sequential Glauber, LubyGlauber,
+// LocalMetropolis — and this package adds a fourth, ChromaticGlauber.
+// Before it existed, every consumer (experiments, cmd/lsample, the
+// benchmarks) reached each dynamic through its own ad-hoc entry point and
+// its own switch statement; they now select dynamics by name through
+// Lookup/New, and per-dynamic knowledge (how many rounds make one
+// "sweep-equivalent") lives in the registry entry instead of being
+// re-derived at every call site.
+//
+// The interface is deliberately small: a dynamic is something that can be
+// restarted from the instance's canonical start (Reset), advanced by whole
+// rounds (Run), and observed (State, Rounds). What a "round" is differs
+// per dynamic — one single-site update for Glauber, one phase for
+// LubyGlauber, one all-vertex proposal round for LocalMetropolis, one full
+// χ-stage sweep for ChromaticGlauber — and Info.SweepRounds converts
+// between them: Run(SweepRounds(in)) performs ≈ one expected update per
+// free vertex for every registered dynamic, which is what makes mixing
+// budgets comparable across dynamics.
+package sampler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+)
+
+// Sampler is the common control surface of every dynamic. All four
+// built-in dynamics implement it: the two psample engines natively, the
+// sequential chain and the chromatic engine through thin adapters.
+type Sampler interface {
+	// Reset restarts the dynamic from the instance's canonical start (the
+	// greedy feasible completion of the pinning) with fresh RNG streams
+	// derived from seed.
+	Reset(seed int64) error
+	// Run advances the dynamic by the given number of its own rounds.
+	Run(rounds int) error
+	// State returns a copy of the current configuration.
+	State() dist.Config
+	// Rounds returns the rounds executed since construction or the last
+	// Reset.
+	Rounds() int
+}
+
+// Info is one registry entry: a named dynamic plus the per-dynamic
+// knowledge its consumers need.
+type Info struct {
+	// Name is the registry key (also the cmd/lsample -algo value).
+	Name string
+	// Synopsis is a one-line description for CLI help output.
+	Synopsis string
+	// New constructs the dynamic on the instance, started from the greedy
+	// completion of the pinning, with RNG streams derived from seed.
+	New func(in *gibbs.Instance, seed int64) (Sampler, error)
+	// SweepRounds returns how many rounds of this dynamic make one
+	// sweep-equivalent (≈ one expected update per free vertex).
+	SweepRounds func(in *gibbs.Instance) int
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds a dynamic to the registry. It panics on an empty name, a
+// duplicate, or a nil constructor — registration is an init-time
+// programming act, not a runtime input.
+func Register(info Info) {
+	if info.Name == "" || info.New == nil || info.SweepRounds == nil {
+		panic("sampler: Register needs a name, a constructor, and a sweep measure")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("sampler: dynamic %q registered twice", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the registry entry for name.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns the registered dynamic names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New constructs the named dynamic on the instance.
+func New(name string, in *gibbs.Instance, seed int64) (Sampler, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
+	}
+	return info.New(in, seed)
+}
+
+// SweepRounds returns the rounds-per-sweep-equivalent of the named dynamic
+// on the instance.
+func SweepRounds(name string, in *gibbs.Instance) (int, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
+	}
+	return max(info.SweepRounds(in), 1), nil
+}
