@@ -17,6 +17,11 @@
 // that appear only in one of the two reports. The deltas are informational
 // — a 1x smoke run is noisy — but they make the perf trajectory visible on
 // every PR instead of only inside downloaded artifacts.
+//
+// With -warn P (requires -baseline), benchmarks whose ns/op regressed by
+// more than P percent are flagged with a REGRESSION marker and a summary
+// WARNING line. The flag never changes the exit code — warn-only until
+// enough variance data accumulates to set a failing threshold.
 package main
 
 import (
@@ -62,6 +67,7 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	baseline := flag.String("baseline", "", "committed report to diff against (per-benchmark ns/op deltas on stderr)")
+	warn := flag.Float64("warn", 0, "flag ns/op regressions above this percentage vs the baseline (0 = off; never fails the run)")
 	flag.Parse()
 	report, failed, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
@@ -82,7 +88,7 @@ func main() {
 			// PR that introduced it onward.
 			fmt.Fprintln(os.Stderr, "benchjson: no baseline diff:", err)
 		} else {
-			printDelta(os.Stderr, base, report)
+			printDelta(os.Stderr, base, report, *warn)
 		}
 	}
 	if failed {
@@ -107,8 +113,10 @@ func readReport(path string) (*Report, error) {
 // printDelta writes the per-benchmark ns/op comparison of cur against
 // base: one line per benchmark present in both, plus the names only one
 // report has. Benchmarks are keyed by package + name (including sub-
-// benchmark paths).
-func printDelta(w io.Writer, base, cur *Report) {
+// benchmark paths). With warnPct > 0, deltas above that percentage get a
+// REGRESSION marker and a trailing WARNING summary (informational only —
+// the exit code is unchanged).
+func printDelta(w io.Writer, base, cur *Report, warnPct float64) {
 	key := func(r Result) string { return r.Package + " " + r.Name }
 	baseBy := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -116,6 +124,7 @@ func printDelta(w io.Writer, base, cur *Report) {
 	}
 	fmt.Fprintln(w, "benchjson: ns/op vs baseline (1x smoke run — informational)")
 	seen := make(map[string]bool, len(cur.Benchmarks))
+	var regressed []string
 	for _, r := range cur.Benchmarks {
 		k := key(r)
 		seen[k] = true
@@ -129,12 +138,22 @@ func printDelta(w io.Writer, base, cur *Report) {
 		if !oldOK || !nowOK || old == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "  %+7.1f%% %-60s %12.0f -> %.0f ns/op\n", 100*(now-old)/old, r.Name, old, now)
+		pct := 100 * (now - old) / old
+		mark := ""
+		if warnPct > 0 && pct > warnPct {
+			mark = "  REGRESSION"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(w, "  %+7.1f%% %-60s %12.0f -> %.0f ns/op%s\n", pct, r.Name, old, now, mark)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[key(b)] {
 			fmt.Fprintf(w, "  missing  %-60s (was %.0f ns/op)\n", b.Name, b.Metrics["ns/op"])
 		}
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "benchjson: WARNING: %d benchmark(s) regressed > %.0f%% ns/op vs baseline: %s\n",
+			len(regressed), warnPct, strings.Join(regressed, ", "))
 	}
 }
 

@@ -99,7 +99,7 @@ func TestPrintDelta(t *testing.T) {
 		{Package: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 25}},
 	}}
 	var out bytes.Buffer
-	printDelta(&out, base, cur)
+	printDelta(&out, base, cur, 0)
 	s := out.String()
 	for _, want := range []string{"+50.0%", "-50.0%", "new", "BenchmarkNew", "missing", "BenchmarkGone"} {
 		if !strings.Contains(s, want) {
@@ -110,6 +110,32 @@ func TestPrintDelta(t *testing.T) {
 	// not be conflated: q's BenchmarkA halved while p's grew.
 	if strings.Count(s, "BenchmarkA") != 2 {
 		t.Errorf("expected both package entries for BenchmarkA:\n%s", s)
+	}
+	// Without -warn no regression machinery fires.
+	if strings.Contains(s, "REGRESSION") || strings.Contains(s, "WARNING") {
+		t.Errorf("warn output without -warn:\n%s", s)
+	}
+}
+
+func TestPrintDeltaWarn(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkSlow", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkEdge", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkFine", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkSlow", Metrics: map[string]float64{"ns/op": 140}},
+		{Package: "p", Name: "BenchmarkEdge", Metrics: map[string]float64{"ns/op": 125}}, // exactly the threshold: not flagged
+		{Package: "p", Name: "BenchmarkFine", Metrics: map[string]float64{"ns/op": 90}},
+	}}
+	var out bytes.Buffer
+	printDelta(&out, base, cur, 25)
+	s := out.String()
+	if strings.Count(s, "REGRESSION") != 1 || !strings.Contains(s, "BenchmarkSlow") {
+		t.Errorf("expected exactly BenchmarkSlow flagged:\n%s", s)
+	}
+	if !strings.Contains(s, "WARNING: 1 benchmark(s) regressed > 25%") {
+		t.Errorf("missing warn summary:\n%s", s)
 	}
 }
 

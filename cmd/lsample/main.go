@@ -15,9 +15,11 @@
 //	lsample -model coloring -graph grid -n 10 -q 6 -algo metropolis
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
+//	lsample -model ising -graph torus -n 16 -algo chromatic -chains 16 -rhat
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,10 +34,20 @@ import (
 	"repro/internal/model"
 	"repro/internal/psample"
 	"repro/internal/sampler"
+	"repro/internal/state"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		// The state container validates the lattice shape (q bounds, chain
+		// count) once at construction; surface its typed error with the
+		// flags that produced it instead of a bare engine trace.
+		var de *state.DomainError
+		if errors.As(err, &de) {
+			fmt.Fprintln(os.Stderr, "lsample: the requested model/chain shape is not representable:", err)
+			fmt.Fprintln(os.Stderr, "lsample: check -q, -chains, and the model parameters")
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "lsample:", err)
 		os.Exit(1)
 	}
@@ -55,6 +67,7 @@ type options struct {
 	rounds  int
 	sweeps  int
 	chains  int
+	rhat    bool
 }
 
 func run(args []string, out *os.File) error {
@@ -73,6 +86,7 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.rounds, "rounds", 0, "rounds for -algo (0 = -sweeps sweep-equivalents)")
 	fs.IntVar(&o.sweeps, "sweeps", 64, "sweep-equivalents for -algo when -rounds is 0")
 	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched engine (-algo chromatic)")
+	fs.BoolVar(&o.rhat, "rhat", false, "report the worst-vertex cross-chain Gelman–Rubin R̂ (needs -algo chromatic and -chains ≥ 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,8 +103,11 @@ func run(args []string, out *os.File) error {
 	if o.algo != "" {
 		return runAlgo(out, in, render, o)
 	}
-	if o.chains > 1 {
+	if o.chains != 1 {
 		return fmt.Errorf("-chains %d needs -algo chromatic; the -sampler path draws one exact/approximate sample", o.chains)
+	}
+	if o.rhat {
+		return fmt.Errorf("-rhat needs -algo chromatic and -chains ≥ 2; the -sampler path draws one sample")
 	}
 
 	oracle, err := buildOracle(g, mm, o)
@@ -141,7 +158,7 @@ func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, 
 	if rounds <= 0 {
 		rounds = max(o.sweeps, 1) * sweep
 	}
-	if o.chains > 1 {
+	if o.chains != 1 || o.rhat {
 		return runBatch(out, in, render, algo, rounds, o)
 	}
 	s, err := sampler.New(algo, in, o.seed)
@@ -159,7 +176,9 @@ func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, 
 // runBatch runs B independent chains of the chromatic dynamics in
 // lockstep on the batched engine and renders the first chain (every chain
 // is an equally valid sample; the point of the batch is throughput per
-// chain, reported by BenchmarkBatchSweep).
+// chain, reported by BenchmarkBatchSweep). With -rhat the sweeps are run
+// one at a time, each folded into the cross-chain Gelman–Rubin
+// accumulator, and the worst-vertex R̂ is reported alongside the sample.
 func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string, algo string, rounds int, o options) error {
 	if algo != "chromatic" {
 		return fmt.Errorf("-chains %d needs -algo chromatic (the batched engine runs the deterministic chromatic schedule); got -algo %s", o.chains, algo)
@@ -172,10 +191,34 @@ func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string,
 	if err != nil {
 		return err
 	}
-	if err := b.Run(rounds); err != nil {
-		return err
+	if !o.rhat {
+		if err := b.Run(rounds); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rounds=%d chains=%d stages/sweep=%d\n", b.Rounds(), b.Chains(), len(b.Classes()))
+		fmt.Fprintln(out, render(b.Chain(0)))
+		return nil
+	}
+	acc, err := b.NewRhat()
+	if err != nil {
+		return fmt.Errorf("-rhat: %w", err)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := b.Run(1); err != nil {
+			return err
+		}
+		acc.Observe()
 	}
 	fmt.Fprintf(out, "rounds=%d chains=%d stages/sweep=%d\n", b.Rounds(), b.Chains(), len(b.Classes()))
+	if acc.Count() >= 2 {
+		v, worst, err := acc.Worst()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rhat=%.4f worst-vertex=%d observations=%d (R̂ ≈ 1 ⇔ chains converged)\n", worst, v, acc.Count())
+	} else {
+		fmt.Fprintf(out, "rhat: need ≥ 2 sweeps to estimate (have %d)\n", acc.Count())
+	}
 	fmt.Fprintln(out, render(b.Chain(0)))
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"testing"
+
+	"repro/internal/state"
 )
 
 func TestRunModels(t *testing.T) {
@@ -96,5 +99,52 @@ func TestRunAlgos(t *testing.T) {
 	// ... and -chains without -algo must be rejected, not silently ignored.
 	if err := run([]string{"-sampler", "jvv", "-chains", "4", "-n", "6"}, devnull); err == nil {
 		t.Error("-chains with -sampler accepted")
+	}
+}
+
+// TestRunRhat exercises the Gelman–Rubin path of the batched engine and
+// its preconditions.
+func TestRunRhat(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	ok := [][]string{
+		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7", "-algo", "chromatic", "-chains", "4", "-sweeps", "8", "-rhat"},
+		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-algo", "chromatic", "-chains", "2", "-rounds", "5", "-rhat"},
+	}
+	for _, args := range ok {
+		if err := run(args, devnull); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	bad := [][]string{
+		// R̂ needs ≥ 2 chains.
+		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7", "-algo", "chromatic", "-rhat"},
+		// ... and the batched chromatic engine.
+		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "luby", "-chains", "4", "-rhat"},
+		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-sampler", "jvv", "-rhat"},
+	}
+	for _, args := range bad {
+		if err := run(args, devnull); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunSurfacesDomainError checks that an unrepresentable lattice shape
+// comes back as the state container's typed error, the contract main()
+// relies on for its friendlier rendering.
+func TestRunSurfacesDomainError(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	var de *state.DomainError
+	err = run([]string{"-model", "hardcore", "-graph", "cycle", "-n", "8", "-algo", "chromatic", "-chains", "-3"}, devnull)
+	if !errors.As(err, &de) {
+		t.Errorf("negative -chains returned %v, want *state.DomainError", err)
 	}
 }

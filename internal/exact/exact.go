@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/gibbs"
+	"repro/internal/state"
 )
 
 // ErrTooLarge indicates that enumeration would exceed the configured budget.
@@ -25,16 +26,18 @@ var ErrTooLarge = errors.New("exact: enumeration too large")
 const DefaultBudget = 1 << 24
 
 // enumerate iterates over all positive-weight total extensions of the
-// instance pinning, calling visit with the configuration and its weight
-// (visit must not retain the config).
+// instance pinning, calling visit with the single-chain lattice holding the
+// configuration and its weight (visit must not retain the lattice's cells
+// across calls).
 //
-// The weight is maintained incrementally on the compiled engine: assigning
-// free vertex v multiplies the running product by PartialWeightAt(cfg, v) —
-// the factors whose last unassigned scope vertex is v — so each factor is
-// accounted exactly once along a root-to-leaf path and a zero delta prunes
-// the subtree. No per-leaf full re-evaluation, no allocation in the
-// recursion.
-func enumerate(in *gibbs.Instance, budget int, visit func(c dist.Config, w float64)) error {
+// The assignment walk runs on a compact state.Lattice (one byte per vertex
+// for q ≤ 255) and the weight is maintained incrementally on the compiled
+// engine: assigning free vertex v multiplies the running product by
+// PartialWeightAtLattice — the factors whose last unassigned scope vertex
+// is v — so each factor is accounted exactly once along a root-to-leaf path
+// and a zero delta prunes the subtree. No per-leaf full re-evaluation, no
+// allocation in the recursion.
+func enumerate(in *gibbs.Instance, budget int, visit func(l *state.Lattice, w float64)) error {
 	eng := in.Spec.Compiled()
 	free := in.FreeVertices()
 	q := in.Q()
@@ -45,31 +48,51 @@ func enumerate(in *gibbs.Instance, budget int, visit func(c dist.Config, w float
 			return fmt.Errorf("%w: q^free = %.0f > budget %d", ErrTooLarge, total, budget)
 		}
 	}
-	cfg := in.Pinned.Clone()
+	lat, err := state.New(in.N(), 1, q)
+	if err != nil {
+		return err
+	}
+	if err := lat.SetChain(0, in.Pinned); err != nil {
+		return err
+	}
 	// Factors fully determined by the pinning contribute once, up front.
-	base := eng.PartialWeight(cfg)
+	base := eng.PartialWeightLattice(lat, 0)
 	if base == 0 {
 		return nil
 	}
+	if u8 := lat.Raw8(); u8 != nil {
+		enumerateCells(eng, lat, u8, free, q, base, visit)
+	} else {
+		enumerateCells(eng, lat, lat.RawWide(), free, q, base, visit)
+	}
+	return nil
+}
+
+// enumerateCells is the width-specialized recursion of enumerate: the
+// representation is dispatched once, and the single-chain cell writes
+// (layout cells[v], B = 1) and incremental weight deltas run on the raw
+// cells. T(dist.Unset) is the representation's own Unset sentinel (−1
+// truncates to the compact 0xFF).
+func enumerateCells[T state.Cells](eng *gibbs.Compiled, lat *state.Lattice, cells []T, free []int, q int, base float64, visit func(l *state.Lattice, w float64)) {
+	unset := dist.Unset // variable, so T(unset) truncates to the cell sentinel
 	var rec func(i int, w float64)
 	rec = func(i int, w float64) {
 		if i == len(free) {
-			visit(cfg, w)
+			visit(lat, w)
 			return
 		}
 		v := free[i]
 		for x := 0; x < q; x++ {
-			cfg[v] = x
-			d := eng.PartialWeightAt(cfg, v)
+			cells[v] = T(x)
+			d := gibbs.PartialWeightAtCells1(eng, cells, v)
 			if d == 0 {
 				continue
 			}
 			rec(i+1, w*d)
 		}
-		cfg[v] = dist.Unset
+		cells[v] = T(unset)
 	}
 	rec(0, base)
-	return nil
 }
 
 // Partition returns Z(τ) = Σ_{σ ⊇ τ} w(σ), the conditional partition
@@ -81,7 +104,7 @@ func Partition(in *gibbs.Instance) (float64, error) {
 // PartitionBudget is Partition with an explicit enumeration budget.
 func PartitionBudget(in *gibbs.Instance, budget int) (float64, error) {
 	z := 0.0
-	err := enumerate(in, budget, func(_ dist.Config, w float64) { z += w })
+	err := enumerate(in, budget, func(_ *state.Lattice, w float64) { z += w })
 	if err != nil {
 		return 0, err
 	}
@@ -103,8 +126,10 @@ func IsFeasible(in *gibbs.Instance) (bool, error) {
 // a sparse table over total configurations.
 func JointDistribution(in *gibbs.Instance) (*dist.Joint, error) {
 	j := dist.NewJoint(in.N())
-	err := enumerate(in, DefaultBudget, func(c dist.Config, w float64) {
-		j.Add(c, w)
+	scratch := dist.NewConfig(in.N())
+	err := enumerate(in, DefaultBudget, func(l *state.Lattice, w float64) {
+		l.ReadChain(0, scratch)
+		j.Add(scratch, w) // Add clones the key
 	})
 	if err != nil {
 		return nil, err
@@ -130,8 +155,8 @@ func MarginalBudget(in *gibbs.Instance, v int, budget int) (dist.Dist, error) {
 		return dist.Point(in.Q(), x), nil
 	}
 	w := make([]float64, in.Q())
-	err := enumerate(in, budget, func(c dist.Config, wt float64) {
-		w[c[v]] += wt
+	err := enumerate(in, budget, func(l *state.Lattice, wt float64) {
+		w[l.Get(v, 0)] += wt
 	})
 	if err != nil {
 		return nil, err
@@ -202,17 +227,23 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 		}
 	}
 	weights := make([]float64, q)
-	cfg := in.Pinned.Clone()
+	lat, err := state.New(n, 1, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := lat.SetChain(0, in.Pinned); err != nil {
+		return nil, err
+	}
 	// As in enumerate, the within-ball weight w_B is maintained
-	// incrementally: active factors fully determined by the pinning
-	// contribute to the root weight, and each active factor at u that
-	// became fully assigned when u was assigned contributes at u.
+	// incrementally on the lattice: active factors fully determined by the
+	// pinning contribute to the root weight, and each active factor at u
+	// that became fully assigned when u was assigned contributes at u.
 	base := 1.0
 	for i := range in.Spec.Factors {
 		if !active[i] {
 			continue
 		}
-		val, ok := eng.EvalFull(i, cfg)
+		val, ok := eng.EvalFullLattice(i, lat, 0)
 		if !ok {
 			continue
 		}
@@ -221,13 +252,30 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 			return nil, fmt.Errorf("exact: ball marginal at %d: %w (infeasible pinning)", v, dist.ErrZeroMass)
 		}
 	}
+	if u8 := lat.Raw8(); u8 != nil {
+		ballWalkCells(eng, u8, active, free, v, q, base, weights)
+	} else {
+		ballWalkCells(eng, lat.RawWide(), active, free, v, q, base, weights)
+	}
+	d, err := dist.FromWeights(weights)
+	if err != nil {
+		return nil, fmt.Errorf("exact: ball marginal at %d: %w", v, err)
+	}
+	return d, nil
+}
+
+// ballWalkCells is the width-specialized within-ball assignment walk of
+// BallMarginal: only the active (fully inside the ball) factors
+// contribute, via the incremental per-vertex delta.
+func ballWalkCells[T state.Cells](eng *gibbs.Compiled, cells []T, active []bool, free []int, v, q int, base float64, weights []float64) {
+	unset := dist.Unset // variable, so T(unset) truncates to the cell sentinel
 	deltaAt := func(u int) float64 {
 		w := 1.0
 		for _, fi := range eng.FactorsAt(u) {
 			if !active[fi] {
 				continue
 			}
-			val, ok := eng.EvalFull(int(fi), cfg)
+			val, ok := gibbs.EvalFullCells1(eng, int(fi), cells)
 			if !ok {
 				continue
 			}
@@ -241,26 +289,21 @@ func BallMarginalBudget(in *gibbs.Instance, v int, ball []int, budget int) (dist
 	var rec func(i int, w float64)
 	rec = func(i int, w float64) {
 		if i == len(free) {
-			weights[cfg[v]] += w
+			weights[int(cells[v])] += w
 			return
 		}
 		u := free[i]
 		for x := 0; x < q; x++ {
-			cfg[u] = x
+			cells[u] = T(x)
 			d := deltaAt(u)
 			if d == 0 {
 				continue
 			}
 			rec(i+1, w*d)
 		}
-		cfg[u] = dist.Unset
+		cells[u] = T(unset)
 	}
 	rec(0, base)
-	d, err := dist.FromWeights(weights)
-	if err != nil {
-		return nil, fmt.Errorf("exact: ball marginal at %d: %w", v, err)
-	}
-	return d, nil
 }
 
 // Sample draws an exact sample from µ^τ by enumeration (ground truth for
@@ -278,7 +321,7 @@ func Sample(in *gibbs.Instance, rng *rand.Rand) (dist.Config, error) {
 // of the introduction).
 func CountFeasible(in *gibbs.Instance) (int, error) {
 	n := 0
-	err := enumerate(in, DefaultBudget, func(_ dist.Config, _ float64) { n++ })
+	err := enumerate(in, DefaultBudget, func(_ *state.Lattice, _ float64) { n++ })
 	if err != nil {
 		return 0, err
 	}

@@ -1,9 +1,11 @@
 package gibbs
 
-// batch_test.go pins the batched conditional kernel to the single-chain
-// one: CondWeightsBatch over a chain-major batch must agree exactly
+// batch_test.go pins the lattice kernels to the dist.Config ones:
+// CondWeightsBatch over a chain-major lattice must agree exactly
 // (bit-for-bit on the table path) with CondWeights called once per chain,
-// on both the dense-table and closure fallback paths.
+// on the dense-table and closure fallback paths and on both cell
+// representations (compact uint8 and wide int); CondWeightsLattice must do
+// the same for a single chain.
 
 import (
 	"math/rand"
@@ -11,6 +13,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/state"
 )
 
 // batchSpec builds a spec mixing unary, pairwise, and arity-3 factors on a
@@ -43,11 +46,9 @@ func batchSpec(t *testing.T) *Spec {
 	return s
 }
 
-func testBatchAgainstSingle(t *testing.T, eng *Compiled) {
-	t.Helper()
-	n, q := eng.N(), eng.Q()
-	rng := rand.New(rand.NewSource(9))
-	const B = 7
+// randomChains draws B total configurations on n vertices.
+func randomChains(n, q, B int, seed int64) []dist.Config {
+	rng := rand.New(rand.NewSource(seed))
 	chains := make([]dist.Config, B)
 	for c := range chains {
 		chains[c] = dist.NewConfig(n)
@@ -55,17 +56,32 @@ func testBatchAgainstSingle(t *testing.T, eng *Compiled) {
 			chains[c][v] = rng.Intn(q)
 		}
 	}
-	vals, err := PackChains(chains, n)
+	return chains
+}
+
+func testBatchAgainstSingle(t *testing.T, eng *Compiled, wide bool) {
+	t.Helper()
+	n, q := eng.N(), eng.Q()
+	const B = 7
+	chains := randomChains(n, q, B, 9)
+	if wide {
+		defer state.SetCompactLimitForTest(0)()
+	}
+	lat, err := state.Pack(n, q, chains)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if lat.Compact() == wide {
+		t.Fatalf("lattice Compact() = %v with wide=%v", lat.Compact(), wide)
 	}
 	sc := NewBatchScratch(B)
 	buf := make([]float64, B*q)
 	single := make([]float64, q)
+	lsingle := make([]float64, q)
 	for v := 0; v < n; v++ {
 		for _, span := range [][2]int{{0, B}, {2, 5}, {B - 1, B}} {
 			c0, c1 := span[0], span[1]
-			got, err := eng.CondWeightsBatch(vals, B, v, c0, c1, buf, sc)
+			got, err := eng.CondWeightsBatch(lat, v, c0, c1, buf, sc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,10 +90,17 @@ func testBatchAgainstSingle(t *testing.T, eng *Compiled) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				lw, err := eng.CondWeightsLattice(lat, c, v, lsingle)
+				if err != nil {
+					t.Fatal(err)
+				}
 				for x := 0; x < q; x++ {
 					if got[(c-c0)*q+x] != want[x] {
 						t.Fatalf("v=%d chain=%d span=[%d,%d) x=%d: batch %v != single %v",
 							v, c, c0, c1, x, got[(c-c0)*q+x], want[x])
+					}
+					if lw[x] != want[x] {
+						t.Fatalf("v=%d chain=%d x=%d: lattice %v != config %v", v, c, x, lw[x], want[x])
 					}
 				}
 			}
@@ -87,48 +110,149 @@ func testBatchAgainstSingle(t *testing.T, eng *Compiled) {
 
 func TestCondWeightsBatchMatchesSingle(t *testing.T) {
 	s := batchSpec(t)
-	t.Run("tabled", func(t *testing.T) { testBatchAgainstSingle(t, Compile(s)) })
-	// A cap of 0 forces every closure factor onto the fallback path while
-	// explicit tables stay tabled — both kernel paths in one batch.
-	t.Run("closure-fallback", func(t *testing.T) { testBatchAgainstSingle(t, CompileCap(s, 0)) })
+	for _, rep := range []struct {
+		name string
+		wide bool
+	}{{"compact", false}, {"wide", true}} {
+		t.Run(rep.name, func(t *testing.T) {
+			t.Run("tabled", func(t *testing.T) { testBatchAgainstSingle(t, Compile(s), rep.wide) })
+			// A cap of 0 forces every closure factor onto the fallback path
+			// while explicit tables stay tabled — both kernel paths in one
+			// batch.
+			t.Run("closure-fallback", func(t *testing.T) { testBatchAgainstSingle(t, CompileCap(s, 0), rep.wide) })
+		})
+	}
+}
+
+// TestLatticePartialKernels pins EvalFullLattice and PartialWeightAtLattice
+// to their dist.Config counterparts on partial configurations, for both
+// representations.
+func TestLatticePartialKernels(t *testing.T) {
+	eng := Compile(batchSpec(t))
+	n, q := eng.N(), eng.Q()
+	rng := rand.New(rand.NewSource(4))
+	for _, wide := range []bool{false, true} {
+		restore := func() {}
+		if wide {
+			restore = state.SetCompactLimitForTest(0)
+		}
+		for trial := 0; trial < 50; trial++ {
+			cfg := dist.NewConfig(n)
+			for v := range cfg {
+				if rng.Intn(3) > 0 {
+					cfg[v] = rng.Intn(q)
+				}
+			}
+			lat, err := state.Pack(n, q, []dist.Config{cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range eng.factors {
+				wv, wok := eng.EvalFull(i, cfg)
+				lv, lok := eng.EvalFullLattice(i, lat, 0)
+				if wv != lv || wok != lok {
+					t.Fatalf("wide=%v factor %d on %v: lattice (%v,%v) != config (%v,%v)", wide, i, cfg, lv, lok, wv, wok)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if got, want := eng.PartialWeightAtLattice(lat, 0, v), eng.PartialWeightAt(cfg, v); got != want {
+					t.Fatalf("wide=%v PartialWeightAt(%d) on %v: lattice %v != config %v", wide, v, cfg, got, want)
+				}
+			}
+			if got, want := eng.PartialWeightLattice(lat, 0), eng.PartialWeight(cfg); got != want {
+				t.Fatalf("wide=%v PartialWeight on %v: lattice %v != config %v", wide, cfg, got, want)
+			}
+		}
+		restore()
+	}
 }
 
 func TestCondWeightsBatchRejectsBadInput(t *testing.T) {
 	eng := Compile(batchSpec(t))
 	n, q := eng.N(), eng.Q()
 	const B = 3
-	vals := make([]int, n*B)
-	buf := make([]float64, B*q)
-	if _, err := eng.CondWeightsBatch(vals, B, -1, 0, B, buf, nil); err == nil {
-		t.Error("negative vertex accepted")
-	}
-	if _, err := eng.CondWeightsBatch(vals, B, 0, 2, 1, buf, nil); err == nil {
-		t.Error("empty chain range accepted")
-	}
-	if _, err := eng.CondWeightsBatch(vals[:n], B, 0, 0, B, buf, nil); err == nil {
-		t.Error("short state accepted")
-	}
-	if _, err := eng.CondWeightsBatch(vals, B, 0, 0, B, buf[:1], nil); err == nil {
-		t.Error("short buffer accepted")
-	}
-	vals[1*B+2] = dist.Unset
-	if _, err := eng.CondWeightsBatch(vals, B, 0, 0, B, buf, nil); err == nil {
-		t.Error("unassigned neighbor accepted")
-	}
-}
-
-func TestPackUnpackChains(t *testing.T) {
-	chains := []dist.Config{{0, 1, 2}, {2, 0, 1}}
-	vals, err := PackChains(chains, 3)
+	full, err := state.Pack(n, q, randomChains(n, q, B, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for c := range chains {
-		if got := UnpackChain(vals, 2, 3, c); !got.Equal(chains[c]) {
-			t.Errorf("chain %d roundtrips to %v", c, got)
-		}
+	buf := make([]float64, B*q)
+	if _, err := eng.CondWeightsBatch(full, -1, 0, B, buf, nil); err == nil {
+		t.Error("negative vertex accepted")
 	}
-	if _, err := PackChains([]dist.Config{{0, 1}}, 3); err == nil {
-		t.Error("length mismatch accepted")
+	if _, err := eng.CondWeightsBatch(full, 0, 2, 1, buf, nil); err == nil {
+		t.Error("empty chain range accepted")
+	}
+	short, err := state.New(n-1, B, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CondWeightsBatch(short, 0, 0, B, buf, nil); err == nil {
+		t.Error("short lattice accepted")
+	}
+	if _, err := eng.CondWeightsBatch(full, 0, 0, B, buf[:1], nil); err == nil {
+		t.Error("short buffer accepted")
+	}
+	full.Set(1, 2, dist.Unset)
+	if _, err := eng.CondWeightsBatch(full, 0, 0, B, buf, nil); err == nil {
+		t.Error("unassigned neighbor accepted")
+	}
+	if _, err := eng.CondWeightsLattice(full, 2, 0, buf); err == nil {
+		t.Error("unassigned neighbor accepted by single-chain kernel")
+	}
+	if _, err := eng.CondWeightsLattice(full, B, 0, buf); err == nil {
+		t.Error("out-of-range chain accepted")
+	}
+}
+
+// TestFilterWeightLatticeMatchesConfig pins the lattice filter kernel to
+// FilterWeight on random (old, proposal) pairs, table and closure paths,
+// both representations.
+func TestFilterWeightLatticeMatchesConfig(t *testing.T) {
+	s := batchSpec(t)
+	rng := rand.New(rand.NewSource(12))
+	for _, cap := range []int{DefaultTableCap, 0} {
+		eng := CompileCap(s, cap)
+		n, q := eng.N(), eng.Q()
+		for _, wide := range []bool{false, true} {
+			restore := func() {}
+			if wide {
+				restore = state.SetCompactLimitForTest(0)
+			}
+			for trial := 0; trial < 30; trial++ {
+				old := randomChains(n, q, 1, int64(100+trial))[0]
+				prop := randomChains(n, q, 1, int64(200+trial))[0]
+				lo, err := state.Pack(n, q, []dist.Config{old})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lp, err := state.Pack(n, q, []dist.Config{prop})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, f := range s.Factors {
+					verts := make([]int, 0, len(f.Scope))
+					for _, u := range f.Scope {
+						seen := false
+						for _, d := range verts {
+							if d == u {
+								seen = true
+							}
+						}
+						if !seen && rng.Intn(2) == 0 {
+							verts = append(verts, u)
+						}
+					}
+					want, werr := eng.FilterWeight(i, old, prop, verts)
+					got, gerr := eng.FilterWeightLattice(i, lo, lp, 0, verts)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("cap=%d wide=%v factor %d verts %v: err %v vs %v", cap, wide, i, verts, gerr, werr)
+					}
+					if got != want {
+						t.Fatalf("cap=%d wide=%v factor %d verts %v: lattice %v != config %v", cap, wide, i, verts, got, want)
+					}
+				}
+			}
+			restore()
+		}
 	}
 }

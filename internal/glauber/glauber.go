@@ -17,19 +17,22 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exact"
 	"repro/internal/gibbs"
+	"repro/internal/state"
 )
 
 // Chain is a Glauber dynamics chain over a Gibbs instance: pinned vertices
 // never move; free vertices are resampled from their exact conditional
-// marginal given the rest of the current state. Each update runs on the
-// compiled evaluation engine and performs no heap allocation as long as
-// every factor at the updated vertex is table-backed (always true for the
-// internal/model builders; closure factors above the table cap allocate a
-// scope buffer per evaluation).
+// marginal given the rest of the current state. The configuration lives in
+// a single-chain state.Lattice (one byte per vertex for every model this
+// repo builds) and each update runs on the compiled evaluation engine,
+// performing no heap allocation as long as every factor at the updated
+// vertex is table-backed (always true for the internal/model builders;
+// closure factors above the table cap allocate a scope buffer per
+// evaluation).
 type Chain struct {
 	in    *gibbs.Instance
 	eng   *gibbs.Compiled
-	state dist.Config
+	state *state.Lattice
 	free  []int
 	steps int
 	// cond is the reusable conditional-weight buffer of length q.
@@ -56,17 +59,24 @@ func New(in *gibbs.Instance) (*Chain, error) {
 	if w <= 0 {
 		return nil, ErrNoFeasibleStart
 	}
+	lat, err := state.New(in.N(), 1, in.Q())
+	if err != nil {
+		return nil, err
+	}
+	if err := lat.SetChain(0, start); err != nil {
+		return nil, err
+	}
 	return &Chain{
 		in:    in,
 		eng:   eng,
-		state: start,
+		state: lat,
 		free:  in.FreeVertices(),
 		cond:  make([]float64, in.Q()),
 	}, nil
 }
 
 // State returns a copy of the current configuration.
-func (c *Chain) State() dist.Config { return c.state.Clone() }
+func (c *Chain) State() dist.Config { return c.state.Chain(0) }
 
 // Steps returns the number of single-site updates performed.
 func (c *Chain) Steps() int { return c.steps }
@@ -79,20 +89,23 @@ func (c *Chain) Reset() error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
 	}
-	c.state = start
+	if err := c.state.SetChain(0, start); err != nil {
+		return err
+	}
 	c.steps = 0
 	return nil
 }
 
-// HeatBath performs one heat-bath update at vertex v in place: the
-// conditional distribution of v given the rest of state is proportional to
-// the product of the factors containing v (all other factors cancel),
-// computed by the compiled CondWeights kernel into cond (length ≥ q) and
-// drawn by dist.SampleWeights — zero heap allocations in steady state.
-// This single update rule is shared by the sequential chain and by the
-// distributed LubyGlauber sampler (internal/psample) in both its harnesses.
-func HeatBath(eng *gibbs.Compiled, state dist.Config, v int, cond []float64, rng *rand.Rand) error {
-	w, err := eng.CondWeights(state, v, cond)
+// HeatBath performs one heat-bath update at vertex v of chain `chain` in
+// place: the conditional distribution of v given the rest of the chain is
+// proportional to the product of the factors containing v (all other
+// factors cancel), computed by the compiled CondWeightsLattice kernel into
+// cond (length ≥ q) and drawn by dist.SampleWeights — zero heap
+// allocations in steady state. This single update rule is shared by the
+// sequential chain and by the distributed LubyGlauber sampler
+// (internal/psample) in both its harnesses.
+func HeatBath(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float64, rng *rand.Rand) error {
+	w, err := eng.CondWeightsLattice(l, chain, v, cond)
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
 	}
@@ -100,7 +113,7 @@ func HeatBath(eng *gibbs.Compiled, state dist.Config, v int, cond []float64, rng
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
 	}
-	state[v] = x
+	l.Set(v, chain, x)
 	return nil
 }
 
@@ -111,7 +124,7 @@ func (c *Chain) Step(rng *rand.Rand) error {
 		return nil
 	}
 	v := c.free[rng.Intn(len(c.free))]
-	if err := HeatBath(c.eng, c.state, v, c.cond, rng); err != nil {
+	if err := HeatBath(c.eng, c.state, 0, v, c.cond, rng); err != nil {
 		return err
 	}
 	c.steps++

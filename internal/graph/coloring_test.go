@@ -55,6 +55,119 @@ func TestGreedyColoringTightCases(t *testing.T) {
 	}
 }
 
+// greedyAdversarialTree returns a tree (a binomial tree laid out children-
+// first) on which natural-order greedy burns k+1 colors: the root of a
+// B_c subtree appears after its c child-subtree roots, which carry colors
+// 0..c−1, forcing color c. Any tree is 1-degenerate, so the degeneracy
+// order colors it with 2.
+func greedyAdversarialTree(k int) *Graph {
+	g := New(1 << k)
+	next := 0
+	var build func(c int) int
+	build = func(c int) int {
+		children := make([]int, c)
+		for i := 0; i < c; i++ {
+			children[i] = build(i)
+		}
+		root := next
+		next++
+		for _, ch := range children {
+			g.MustAddEdge(root, ch)
+		}
+		return root
+	}
+	build(k)
+	return g
+}
+
+func TestDegeneracyOrder(t *testing.T) {
+	cases := map[string]struct {
+		g    *Graph
+		want int
+	}{
+		"empty":   {New(4), 0},
+		"path":    {Path(6), 1},
+		"bintree": {CompleteTree(2, 4), 1},
+		"cycle":   {Cycle(7), 2},
+		"k5":      {Complete(5), 4},
+		"torus":   {Torus(4, 4), 4},
+		"star":    {Star(6), 1},
+		"none":    {New(0), 0},
+	}
+	for name, c := range cases {
+		order, d := c.g.DegeneracyOrder()
+		if d != c.want {
+			t.Errorf("%s: degeneracy %d, want %d", name, d, c.want)
+		}
+		if len(order) != c.g.N() {
+			t.Fatalf("%s: order has %d vertices, want %d", name, len(order), c.g.N())
+		}
+		seen := make([]bool, c.g.N())
+		for _, v := range order {
+			if v < 0 || v >= c.g.N() || seen[v] {
+				t.Fatalf("%s: order %v is not a permutation", name, order)
+			}
+			seen[v] = true
+		}
+		// Smallest-last invariant: each vertex has ≤ d neighbors later in
+		// the order.
+		posOf := make([]int, c.g.N())
+		for i, v := range order {
+			posOf[v] = i
+		}
+		for i, v := range order {
+			later := 0
+			for _, u := range c.g.Neighbors(v) {
+				if posOf[u] > i {
+					later++
+				}
+			}
+			if later > d {
+				t.Errorf("%s: vertex %d keeps %d later neighbors > degeneracy %d", name, v, later, d)
+			}
+		}
+	}
+}
+
+func TestDegeneracyColoringProperAndBounded(t *testing.T) {
+	cases := map[string]*Graph{
+		"cycle5": Cycle(5), "torus": Torus(4, 4), "k5": Complete(5),
+		"bintree": CompleteTree(2, 4), "badtree": greedyAdversarialTree(4), "empty": New(3),
+	}
+	for name, g := range cases {
+		colors, k := g.DegeneracyColoring()
+		_, d := g.DegeneracyOrder()
+		for v := 0; v < g.N(); v++ {
+			if colors[v] < 0 || colors[v] >= k {
+				t.Fatalf("%s: color %d out of range [0,%d)", name, colors[v], k)
+			}
+			for _, u := range g.Neighbors(v) {
+				if colors[u] == colors[v] {
+					t.Fatalf("%s: edge (%d,%d) monochromatic", name, v, u)
+				}
+			}
+		}
+		if g.N() > 0 && k > d+1 {
+			t.Errorf("%s: %d colors exceeds degeneracy+1 = %d", name, k, d+1)
+		}
+	}
+}
+
+// TestDegeneracyBeatsGreedy pins the case the adaptive schedule exists
+// for: natural-order greedy needs k+1 colors on the adversarial tree while
+// the degeneracy order gives the optimal 2.
+func TestDegeneracyBeatsGreedy(t *testing.T) {
+	g := greedyAdversarialTree(4)
+	_, kg := g.GreedyColoring()
+	_, kd := g.DegeneracyColoring()
+	if kg != 5 {
+		t.Fatalf("natural greedy on the adversarial tree used %d colors, expected 5", kg)
+	}
+	if kd != 2 {
+		t.Errorf("degeneracy coloring used %d colors, want 2", kd)
+	}
+}
+
 func TestColorClassesSkipsNegative(t *testing.T) {
 	classes := ColorClasses([]int{0, -1, 1, 0, -1})
 	if len(classes) != 2 {

@@ -14,16 +14,19 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/glauber"
+	"repro/internal/state"
 )
 
-// LubyGlauber is the sharded in-process LubyGlauber sampler.
+// LubyGlauber is the sharded in-process LubyGlauber sampler. Its
+// configuration lives in a single-chain state.Lattice — one byte per
+// vertex for every model this repo builds.
 type LubyGlauber struct {
 	// Workers overrides the worker count when positive (default: one per
 	// CPU, bounded so blocks stay coarse).
 	Workers int
 
 	rules   *Rules
-	state   dist.Config
+	lat     *state.Lattice
 	draws   []float64
 	rounds  int
 	updates int64
@@ -51,11 +54,11 @@ func NewLubyGlauber(r *Rules, seed int64) (*LubyGlauber, error) {
 
 // Reset restarts the sampler from the greedy start with fresh RNG streams.
 func (s *LubyGlauber) Reset(seed int64) error {
-	start, err := s.rules.Start()
+	lat, err := s.rules.ResetLattice(s.lat, 1)
 	if err != nil {
 		return err
 	}
-	s.state = start
+	s.lat = lat
 	s.seed = seed
 	s.rounds = 0
 	s.updates = 0
@@ -64,7 +67,7 @@ func (s *LubyGlauber) Reset(seed int64) error {
 }
 
 // State returns a copy of the current configuration.
-func (s *LubyGlauber) State() dist.Config { return s.state.Clone() }
+func (s *LubyGlauber) State() dist.Config { return s.lat.Chain(0) }
 
 // Rounds returns the number of rounds executed.
 func (s *LubyGlauber) Rounds() int { return s.rounds }
@@ -113,7 +116,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 				if !r.free[v] || !r.winsPhase(v, s.draws, g.Neighbors(v)) {
 					continue
 				}
-				if err := glauber.HeatBath(r.eng, s.state, v, wk.cond, wk.rng); err != nil {
+				if err := glauber.HeatBath(r.eng, s.lat, 0, v, wk.cond, wk.rng); err != nil {
 					return err
 				}
 				updates[w]++

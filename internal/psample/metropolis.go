@@ -13,17 +13,20 @@ import (
 	"math/rand"
 
 	"repro/internal/dist"
+	"repro/internal/state"
 )
 
-// LocalMetropolis is the sharded in-process LocalMetropolis sampler.
+// LocalMetropolis is the sharded in-process LocalMetropolis sampler. The
+// current configuration and the round's proposals live in single-chain
+// state lattices (one byte per vertex for every model this repo builds).
 type LocalMetropolis struct {
 	// Workers overrides the worker count when positive (default: one per
 	// CPU, bounded so blocks stay coarse).
 	Workers int
 
 	rules   *Rules
-	state   dist.Config
-	prop    dist.Config
+	lat     *state.Lattice
+	prop    *state.Lattice
 	accOK   []bool
 	rounds  int
 	accepts int64
@@ -38,9 +41,13 @@ func NewLocalMetropolis(r *Rules, seed int64) (*LocalMetropolis, error) {
 	if err := r.MetropolisReady(); err != nil {
 		return nil, err
 	}
+	prop, err := state.New(r.n, 1, r.q)
+	if err != nil {
+		return nil, err
+	}
 	s := &LocalMetropolis{
 		rules: r,
-		prop:  dist.NewConfig(r.n),
+		prop:  prop,
 		accOK: make([]bool, len(r.acc)),
 	}
 	if err := s.Reset(seed); err != nil {
@@ -51,11 +58,11 @@ func NewLocalMetropolis(r *Rules, seed int64) (*LocalMetropolis, error) {
 
 // Reset restarts the sampler from the greedy start with fresh RNG streams.
 func (s *LocalMetropolis) Reset(seed int64) error {
-	start, err := s.rules.Start()
+	lat, err := s.rules.ResetLattice(s.lat, 1)
 	if err != nil {
 		return err
 	}
-	s.state = start
+	s.lat = lat
 	s.seed = seed
 	s.rounds = 0
 	s.accepts = 0
@@ -64,7 +71,7 @@ func (s *LocalMetropolis) Reset(seed int64) error {
 }
 
 // State returns a copy of the current configuration.
-func (s *LocalMetropolis) State() dist.Config { return s.state.Clone() }
+func (s *LocalMetropolis) State() dist.Config { return s.lat.Chain(0) }
 
 // Rounds returns the number of rounds executed.
 func (s *LocalMetropolis) Rounds() int { return s.rounds }
@@ -96,24 +103,16 @@ func (s *LocalMetropolis) Run(rounds int) error {
 			rng := s.rngs[w]
 			for v := lo; v < hi; v++ {
 				if r.free[v] {
-					s.prop[v] = r.proposal[v].Sample(rng)
+					s.prop.Set(v, 0, r.proposal[v].Sample(rng))
 				} else {
-					s.prop[v] = s.state[v]
+					s.prop.Set(v, 0, s.lat.Get(v, 0))
 				}
 			}
 			return nil
 		},
 		func(w, round int) error {
 			lo, hi := BlockOf(len(r.acc), workers, w)
-			rng := s.rngs[w]
-			for j := lo; j < hi; j++ {
-				p, err := r.FilterProb(j, s.state, s.prop)
-				if err != nil {
-					return err
-				}
-				s.accOK[j] = rng.Float64() < p
-			}
-			return nil
+			return r.FilterStage(s.lat, s.prop, 0, lo, hi, s.rngs[w], s.accOK)
 		},
 		func(w, round int) error {
 			lo, hi := BlockOf(r.n, workers, w)
@@ -129,7 +128,7 @@ func (s *LocalMetropolis) Run(rounds int) error {
 					}
 				}
 				if ok {
-					s.state[v] = s.prop[v]
+					s.lat.Set(v, 0, s.prop.Get(v, 0))
 					accepts[w]++
 				}
 			}

@@ -14,6 +14,11 @@ package psample
 // NewRules), so every quantity a node needs — neighbor spins, neighbor
 // proposals, and the shared per-factor filter coin flipped by the
 // factor's smallest scope vertex — arrives from direct neighbors.
+//
+// Node payloads carry spins as single bytes and each node's view of its
+// neighborhood is a compact (uint8-cell) state.Lattice, so the harness
+// requires q ≤ state.MaxCompactQ — far above any model this repo builds;
+// the wide []int fallback is an in-process-engine concern only.
 
 import (
 	"fmt"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/glauber"
 	"repro/internal/local"
+	"repro/internal/state"
 )
 
 // networkFor validates that the network matches the rules' interaction
@@ -33,6 +39,10 @@ func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) 
 	if net.G.N() != r.n {
 		return nil, fmt.Errorf("psample: network has %d nodes, instance has %d", net.G.N(), r.n)
 	}
+	if r.q > state.MaxCompactQ {
+		return nil, &state.DomainError{N: r.n, Chains: 1, Q: r.q,
+			Reason: fmt.Sprintf("the LOCAL harness transmits spins as bytes and needs q ≤ %d", state.MaxCompactQ)}
+	}
 	rngs := make([]*rand.Rand, r.n)
 	for v := range rngs {
 		rngs[v] = dist.SeedStream(seed, int64(v))
@@ -40,13 +50,18 @@ func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) 
 	return rngs, nil
 }
 
+// nodeView returns a node's all-Unset compact view of the configuration.
+func nodeView(n, q int) (*state.Lattice, error) {
+	return state.NewCompact(n, 1, q)
+}
+
 // lgNodeState is the per-node state of the LubyGlauber LOCAL harness.
 type lgNodeState struct {
-	val  int
+	val  uint8
 	draw float64
-	// cfg is the node's view of its closed neighborhood: cfg[u] for
+	// cfg is the node's view of its closed neighborhood: the cell at u for
 	// neighbors u is u's spin as of the previous round.
-	cfg  dist.Config
+	cfg  *state.Lattice
 	cond []float64
 	done int
 	// err records a failed update; the simulator has no error channel for
@@ -55,9 +70,10 @@ type lgNodeState struct {
 }
 
 // lgMsg is the LubyGlauber round message: the sender's spin after the
-// current round and its draw for the next phase.
+// current round (one byte, the raw compact cell) and its draw for the next
+// phase.
 type lgMsg struct {
-	val  int
+	val  uint8
 	draw float64
 }
 
@@ -80,33 +96,41 @@ func LubyGlauberLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist.Con
 	}
 	g := net.G
 	init := func(v int) any {
+		view, err := nodeView(r.n, r.q)
 		st := &lgNodeState{
-			val:  start[v],
-			cfg:  dist.NewConfig(r.n),
+			val:  uint8(start[v]),
+			cfg:  view,
 			cond: make([]float64, r.q),
 		}
-		st.cfg[v] = st.val
+		if err != nil {
+			st.err = err
+			return st
+		}
+		st.cfg.Set(v, 0, int(st.val))
 		return st
 	}
-	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
-		st := state.(*lgNodeState)
+	step := func(v, round int, nodeState any, inbox []local.Message) (any, []local.Message, bool) {
+		st := nodeState.(*lgNodeState)
+		if st.err != nil {
+			return st, nil, true
+		}
 		if round > 0 {
 			// Deliver neighbor spins and decide the phase drawn last round.
 			win := r.free[v]
 			for _, m := range inbox {
 				msg := m.Payload.(lgMsg)
-				st.cfg[m.From] = msg.val
+				st.cfg.Set(m.From, 0, int(msg.val))
 				if win && r.free[m.From] && construct.Beats(msg.draw, m.From, st.draw, v) {
 					win = false
 				}
 			}
 			if win {
-				st.cfg[v] = st.val
-				if err := glauber.HeatBath(r.eng, st.cfg, v, st.cond, rngs[v]); err != nil {
+				st.cfg.Set(v, 0, int(st.val))
+				if err := glauber.HeatBath(r.eng, st.cfg, 0, v, st.cond, rngs[v]); err != nil {
 					st.err = err
 					return st, nil, true
 				}
-				st.val = st.cfg[v]
+				st.val = uint8(st.cfg.Get(v, 0))
 			}
 			st.done++
 			if st.done >= R {
@@ -132,7 +156,7 @@ func LubyGlauberLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist.Con
 		if st.err != nil {
 			return nil, 0, fmt.Errorf("psample: heat-bath update failed at node %d: %w", v, st.err)
 		}
-		out[v] = st.val
+		out[v] = int(st.val)
 	}
 	return out, res.Rounds, nil
 }
@@ -144,23 +168,24 @@ type lmCoin struct {
 	u float64
 }
 
-// lmMsg is the LocalMetropolis round message: the sender's current spin,
-// its proposal for the next round, and the coins of the factors it owns.
+// lmMsg is the LocalMetropolis round message: the sender's current spin and
+// its proposal for the next round (single bytes, the raw compact cells),
+// and the coins of the factors it owns.
 type lmMsg struct {
-	val   int
-	prop  int
+	val   uint8
+	prop  uint8
 	coins []lmCoin
 }
 
 // lmNodeState is the per-node state of the LocalMetropolis LOCAL harness.
 type lmNodeState struct {
-	val   int
-	prop  int
+	val   uint8
+	prop  uint8
 	coins []lmCoin
 	// cfg and props are the node's views of its closed neighborhood:
 	// spins as of the previous round and proposals for this round.
-	cfg   dist.Config
-	props dist.Config
+	cfg   *state.Lattice
+	props *state.Lattice
 	// coinAt[j] is the coin of acceptance factor j this round (only the
 	// factors toggling this node are ever read).
 	coinAt map[int]float64
@@ -207,34 +232,44 @@ func LocalMetropolisLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist
 	g := net.G
 	init := func(v int) any {
 		st := &lmNodeState{
-			val:    start[v],
-			cfg:    dist.NewConfig(r.n),
-			props:  dist.NewConfig(r.n),
+			val:    uint8(start[v]),
 			coinAt: make(map[int]float64, len(r.AccAt(v))),
 		}
-		st.cfg[v] = st.val
+		var err error
+		if st.cfg, err = nodeView(r.n, r.q); err != nil {
+			st.err = err
+			return st
+		}
+		if st.props, err = nodeView(r.n, r.q); err != nil {
+			st.err = err
+			return st
+		}
+		st.cfg.Set(v, 0, int(st.val))
 		return st
 	}
-	step := func(v, round int, state any, inbox []local.Message) (any, []local.Message, bool) {
-		st := state.(*lmNodeState)
+	step := func(v, round int, nodeState any, inbox []local.Message) (any, []local.Message, bool) {
+		st := nodeState.(*lmNodeState)
+		if st.err != nil {
+			return st, nil, true
+		}
 		if round > 0 {
 			for _, m := range inbox {
 				msg := m.Payload.(lmMsg)
-				st.cfg[m.From] = msg.val
-				st.props[m.From] = msg.prop
+				st.cfg.Set(m.From, 0, int(msg.val))
+				st.props.Set(m.From, 0, int(msg.prop))
 				for _, c := range msg.coins {
 					st.coinAt[c.j] = c.u
 				}
 			}
-			st.cfg[v] = st.val
-			st.props[v] = st.prop
+			st.cfg.Set(v, 0, int(st.val))
+			st.props.Set(v, 0, int(st.prop))
 			for _, c := range st.coins {
 				st.coinAt[c.j] = c.u
 			}
 			if r.free[v] {
 				accept := true
 				for _, j := range r.AccAt(v) {
-					p, err := r.FilterProb(int(j), st.cfg, st.props)
+					p, err := r.FilterProbLattice(int(j), st.cfg, st.props, 0)
 					if err != nil {
 						st.err = err
 						return st, nil, true
@@ -256,7 +291,7 @@ func LocalMetropolisLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist
 		// Draw next round's proposal and owned coins, then broadcast. The
 		// coin slice must be fresh each round: the outgoing message aliases
 		// it and is only read by neighbors during the next round.
-		st.prop = r.Propose(v, rngs[v])
+		st.prop = uint8(r.Propose(v, rngs[v]))
 		st.coins = make([]lmCoin, 0, len(owned[v]))
 		for _, j := range owned[v] {
 			st.coins = append(st.coins, lmCoin{j: j, u: rngs[v].Float64()})
@@ -277,7 +312,7 @@ func LocalMetropolisLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist
 		if st.err != nil {
 			return nil, 0, fmt.Errorf("psample: filter evaluation failed at node %d: %w", v, st.err)
 		}
-		out[v] = st.val
+		out[v] = int(st.val)
 	}
 	return out, res.Rounds, nil
 }

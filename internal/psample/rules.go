@@ -37,6 +37,7 @@ import (
 	"repro/internal/construct"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
+	"repro/internal/state"
 )
 
 // Rules is the shared compiled form of an instance's update rules: the
@@ -271,6 +272,42 @@ func (r *Rules) Start() (dist.Config, error) {
 	return start, nil
 }
 
+// StartLattice returns a fresh `chains`-chain state lattice with every
+// chain at the canonical start — the state container every in-process
+// engine runs on. The lattice picks compact (uint8) cells for q ≤ 255 and
+// q bounds are validated by its constructor.
+func (r *Rules) StartLattice(chains int) (*state.Lattice, error) {
+	start, err := r.Start()
+	if err != nil {
+		return nil, err
+	}
+	l, err := state.New(r.n, chains, r.q)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Broadcast(start); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ResetLattice refills l with every chain at the canonical start,
+// allocating a fresh `chains`-chain lattice when l is nil — the shared
+// Reset path of every in-process engine.
+func (r *Rules) ResetLattice(l *state.Lattice, chains int) (*state.Lattice, error) {
+	if l == nil {
+		return r.StartLattice(chains)
+	}
+	start, err := r.Start()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Broadcast(start); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
 // Propose draws a LocalMetropolis proposal for vertex v: a fresh symbol
 // from the unary-weight distribution for free vertices, the pinned symbol
 // otherwise.
@@ -305,6 +342,44 @@ func (r *Rules) FilterProb(j int, old, prop dist.Config) (float64, error) {
 		return 0, err
 	}
 	return w * af.scale, nil
+}
+
+// FilterProbLattice is FilterProb reading the current configuration and the
+// proposal from chain `chain` of two state lattices.
+func (r *Rules) FilterProbLattice(j int, old, prop *state.Lattice, chain int) (float64, error) {
+	af := &r.acc[j]
+	w, err := r.eng.FilterWeightLattice(af.fi, old, prop, chain, af.verts)
+	if err != nil {
+		return 0, err
+	}
+	return w * af.scale, nil
+}
+
+// FilterStage flips the round's filter coins of acceptance factors
+// lo ≤ j < hi against chain `chain` of (old, prop), writing accOK[j] —
+// the sharded LocalMetropolis stage-2 hot path, with the lattice
+// representation dispatched once per stage instead of once per factor.
+func (r *Rules) FilterStage(old, prop *state.Lattice, chain, lo, hi int, rng *rand.Rand, accOK []bool) error {
+	if o8, p8 := old.Raw8(), prop.Raw8(); o8 != nil && p8 != nil {
+		return filterStage(r, o8, old.Chains(), p8, prop.Chains(), chain, lo, hi, rng, accOK)
+	}
+	if ow, pw := old.RawWide(), prop.RawWide(); ow != nil && pw != nil {
+		return filterStage(r, ow, old.Chains(), pw, prop.Chains(), chain, lo, hi, rng, accOK)
+	}
+	return errors.New("psample: filter lattices have mixed cell representations")
+}
+
+// filterStage is the width-specialized FilterStage body.
+func filterStage[T state.Cells](r *Rules, old []T, oB int, prop []T, pB int, chain, lo, hi int, rng *rand.Rand, accOK []bool) error {
+	for j := lo; j < hi; j++ {
+		af := &r.acc[j]
+		w, err := gibbs.FilterWeightCells(r.eng, af.fi, old, oB, prop, pB, chain, af.verts)
+		if err != nil {
+			return err
+		}
+		accOK[j] = rng.Float64() < w*af.scale
+	}
+	return nil
 }
 
 // winsPhase reports whether free vertex v wins the round's Luby phase: its

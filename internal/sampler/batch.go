@@ -2,15 +2,23 @@ package sampler
 
 // batch.go is the batched multi-chain engine: B independent chains over
 // one shared compiled engine, advanced in lockstep under the deterministic
-// chromatic schedule. The configurations live in a structure-of-arrays
-// layout (chain-major per vertex, vals[v*B+c]) so that updating one vertex
-// across all chains touches contiguous memory and amortizes the per-vertex
-// factor bookkeeping — the mixed-radix index computation and factor-table
-// cache misses that dominate single-chain sweeps (per the PR 2
-// measurements) are paid once per vertex instead of once per chain, which
-// is the single biggest throughput lever for many-chain workloads
-// (independent replicas for empirical TV estimates, R̂-style diagnostics,
-// or simply saturating a core with less bookkeeping).
+// chromatic schedule. The configurations live in a state.Lattice
+// (chain-major per vertex, cell (v,c) at vals[v*B+c], one byte per cell
+// for every model this repo builds) so that updating one vertex across all
+// chains touches contiguous memory and amortizes the per-vertex factor
+// bookkeeping — the mixed-radix index computation and factor-table cache
+// misses that dominate single-chain sweeps (per the PR 2 measurements) are
+// paid once per vertex instead of once per chain, and the compact cells
+// keep the whole B×n working set in cache at large B, which together are
+// the biggest throughput levers for many-chain workloads (independent
+// replicas for empirical TV estimates, the cross-chain R̂ diagnostic in
+// rhat.go, or simply saturating a core with less bookkeeping).
+//
+// The stage schedule is adaptive: the engine colors the interaction graph
+// both by natural-order greedy and by the degeneracy (smallest-last) order
+// and keeps whichever uses fewer classes — on sparse graphs the degeneracy
+// bound d+1 undercuts greedy's Δ+1, and fewer classes mean fewer barriers
+// per sweep.
 //
 // Correctness: a stage updates one greedy color class simultaneously in
 // every chain. Within a chain the class is an independent set of the
@@ -30,6 +38,7 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/graph"
 	"repro/internal/psample"
+	"repro/internal/state"
 )
 
 // batchChainBlock is the number of chains one work item advances: chains
@@ -48,9 +57,10 @@ type Batch struct {
 	rules *psample.Rules
 	// chains is B, the number of independent chains.
 	chains int
-	// vals is the chain-major state: vals[v*chains+c] is chain c at v.
-	vals []int
-	// classes is the greedy-coloring schedule over free vertices.
+	// lat is the chain-major state lattice: cell (v, c) is chain c at v.
+	lat *state.Lattice
+	// classes is the coloring schedule over free vertices (greedy or
+	// degeneracy order, whichever used fewer classes).
 	classes [][]int
 	sweeps  int
 	workers []batchWorker
@@ -68,22 +78,35 @@ type batchWorker struct {
 // NewBatch returns a batched engine of the given number of chains, every
 // chain started from the greedy feasible completion of the instance
 // pinning, with per-worker RNG streams derived from seed. The schedule is
-// the greedy proper coloring of the interaction graph restricted to free
-// vertices, so one sweep is at most Δ+1 barrier-separated stages.
+// a proper coloring of the interaction graph restricted to free vertices —
+// natural-order greedy or the degeneracy (smallest-last) order, whichever
+// yields fewer classes — so one sweep is at most min(Δ, d)+1
+// barrier-separated stages.
+// A nonpositive chain count surfaces as the state container's typed
+// *state.DomainError.
 func NewBatch(r *psample.Rules, chains int, seed int64) (*Batch, error) {
-	if chains <= 0 {
-		return nil, fmt.Errorf("sampler: batch needs at least 1 chain, got %d", chains)
-	}
-	colors, _ := r.Instance().Spec.G.GreedyColoring()
-	for v := range colors {
-		if !r.Free(v) {
-			colors[v] = -1
+	g := r.Instance().Spec.G
+	// Compare the schedules AFTER restricting to free vertices: a coloring
+	// that needs more colors on the full graph may still have fewer
+	// surviving classes once the pinned vertices are dropped.
+	freeClasses := func(colors []int) [][]int {
+		for v := range colors {
+			if !r.Free(v) {
+				colors[v] = -1
+			}
 		}
+		return graph.ColorClasses(colors)
+	}
+	gc, _ := g.GreedyColoring()
+	classes := freeClasses(gc)
+	dc, _ := g.DegeneracyColoring()
+	if dcl := freeClasses(dc); len(dcl) < len(classes) {
+		classes = dcl
 	}
 	b := &Batch{
 		rules:   r,
 		chains:  chains,
-		classes: graph.ColorClasses(colors),
+		classes: classes,
 	}
 	if err := b.Reset(seed); err != nil {
 		return nil, err
@@ -93,20 +116,11 @@ func NewBatch(r *psample.Rules, chains int, seed int64) (*Batch, error) {
 
 // Reset restarts every chain from the greedy start with fresh RNG streams.
 func (b *Batch) Reset(seed int64) error {
-	start, err := b.rules.Start()
+	lat, err := b.rules.ResetLattice(b.lat, b.chains)
 	if err != nil {
 		return err
 	}
-	n := b.rules.N()
-	if b.vals == nil {
-		b.vals = make([]int, n*b.chains)
-	}
-	for v := 0; v < n; v++ {
-		row := b.vals[v*b.chains : (v+1)*b.chains]
-		for c := range row {
-			row[c] = start[v]
-		}
-	}
+	b.lat = lat
 	b.seed = seed
 	b.sweeps = 0
 	b.workers = b.workers[:0]
@@ -125,8 +139,12 @@ func (b *Batch) Rounds() int { return b.sweeps }
 
 // Chain returns a copy of chain c's current configuration.
 func (b *Batch) Chain(c int) dist.Config {
-	return gibbs.UnpackChain(b.vals, b.chains, b.rules.N(), c)
+	return b.lat.Chain(c)
 }
+
+// Lattice exposes the underlying state container (read-only for callers:
+// diagnostics such as the R̂ accumulator read it between runs).
+func (b *Batch) Lattice() *state.Lattice { return b.lat }
 
 // ensureWorkers sizes the per-worker state for w workers.
 func (b *Batch) ensureWorkers(w int) {
@@ -139,6 +157,20 @@ func (b *Batch) ensureWorkers(w int) {
 			sc:  gibbs.NewBatchScratch(cb),
 		})
 	}
+}
+
+// sampleRow draws the heat-bath symbols of chains c0 ≤ c < c1 at vertex v
+// from the batched conditional weights into the raw vertex row — the
+// width-specialized write-back of one stage item.
+func sampleRow[T state.Cells](row []T, wbuf []float64, q, v, c0, c1 int, rng *rand.Rand) error {
+	for c := c0; c < c1; c++ {
+		x, err := dist.SampleWeights(wbuf[(c-c0)*q:(c-c0+1)*q], rng)
+		if err != nil {
+			return fmt.Errorf("sampler: heat-bath at vertex %d chain %d: %w", v, c, err)
+		}
+		row[c] = T(x)
+	}
+	return nil
 }
 
 // Run executes the given number of full sweeps; each sweep is one
@@ -178,17 +210,19 @@ func (b *Batch) Run(sweeps int) error {
 				v := class[it/groups]
 				c0 := (it % groups) * cb
 				c1 := min(c0+cb, B)
-				wbuf, err := eng.CondWeightsBatch(b.vals, B, v, c0, c1, wk.buf, wk.sc)
+				wbuf, err := eng.CondWeightsBatch(b.lat, v, c0, c1, wk.buf, wk.sc)
 				if err != nil {
 					return err
 				}
-				row := b.vals[v*B : (v+1)*B]
-				for c := c0; c < c1; c++ {
-					x, err := dist.SampleWeights(wbuf[(c-c0)*q:(c-c0+1)*q], wk.rng)
-					if err != nil {
-						return fmt.Errorf("sampler: heat-bath at vertex %d chain %d: %w", v, c, err)
-					}
-					row[c] = x
+				// Write through the raw vertex row: one representation
+				// branch per item instead of one per chain.
+				if row := b.lat.Row8(v); row != nil {
+					err = sampleRow(row, wbuf, q, v, c0, c1, wk.rng)
+				} else {
+					err = sampleRow(b.lat.RowWide(v), wbuf, q, v, c0, c1, wk.rng)
+				}
+				if err != nil {
+					return err
 				}
 			}
 			return nil

@@ -1,0 +1,122 @@
+package sampler
+
+// rhat.go: the cross-chain Gelman–Rubin convergence diagnostic on the
+// batched engine. B independent lockstep chains are exactly the input the
+// potential scale reduction factor R̂ wants: for each vertex, the between-
+// chain variance of the per-chain means is compared against the mean
+// within-chain variance; R̂ ≈ 1 once every chain explores the same
+// distribution, and values well above 1 flag unconverged sweeps. Symbols
+// are treated as numeric scores (the standard practice for categorical
+// chains — a heuristic but effective stall detector; for q = 2 models it
+// is exactly the indicator-mean diagnostic). Per-vertex values are
+// exposed, and the worst vertex is the headline number cmd/lsample -rhat
+// reports.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rhat accumulates per-(vertex, chain) running moments of the batch state
+// across observations (Welford updates, numerically stable over any number
+// of sweeps) and reports the Gelman–Rubin statistic per vertex.
+type Rhat struct {
+	b     *Batch
+	n     int
+	count int
+	// mean and m2 are chain-major like the lattice: entry v*B+c carries
+	// chain c's running mean / centered second moment at vertex v.
+	mean []float64
+	m2   []float64
+}
+
+// NewRhat returns an empty accumulator for the batch. The diagnostic needs
+// at least two chains.
+func (b *Batch) NewRhat() (*Rhat, error) {
+	if b.Chains() < 2 {
+		return nil, fmt.Errorf("sampler: Gelman–Rubin needs ≥ 2 chains, batch has %d", b.Chains())
+	}
+	n := b.rules.N()
+	return &Rhat{
+		b:    b,
+		n:    n,
+		mean: make([]float64, n*b.Chains()),
+		m2:   make([]float64, n*b.Chains()),
+	}, nil
+}
+
+// Observe folds the batch's current state into the running moments. Call
+// it between Run chunks (e.g. once per sweep).
+func (r *Rhat) Observe() {
+	r.count++
+	B := r.b.Chains()
+	lat := r.b.Lattice()
+	for v := 0; v < r.n; v++ {
+		row := r.mean[v*B : (v+1)*B]
+		m2 := r.m2[v*B : (v+1)*B]
+		for c := 0; c < B; c++ {
+			x := float64(lat.Get(v, c))
+			d := x - row[c]
+			row[c] += d / float64(r.count)
+			m2[c] += d * (x - row[c])
+		}
+	}
+}
+
+// Count returns the number of observations folded in so far.
+func (r *Rhat) Count() int { return r.count }
+
+// At returns the Gelman–Rubin statistic of vertex v over the observations
+// so far. A vertex with zero variance everywhere (pinned, or a frozen
+// degree of freedom) reports exactly 1; zero within-chain variance with
+// disagreeing chains reports +Inf. At least two observations are required.
+func (r *Rhat) At(v int) (float64, error) {
+	if r.count < 2 {
+		return 0, fmt.Errorf("sampler: Gelman–Rubin needs ≥ 2 observations, have %d", r.count)
+	}
+	B := r.b.Chains()
+	T := float64(r.count)
+	means := r.mean[v*B : (v+1)*B]
+	m2 := r.m2[v*B : (v+1)*B]
+	grand := 0.0
+	for _, m := range means {
+		grand += m
+	}
+	grand /= float64(B)
+	within, between := 0.0, 0.0
+	for c := 0; c < B; c++ {
+		within += m2[c] / (T - 1)
+		d := means[c] - grand
+		between += d * d
+	}
+	within /= float64(B)
+	between = between * T / float64(B-1)
+	if within == 0 {
+		if between == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	varPlus := (T-1)/T*within + between/T
+	return math.Sqrt(varPlus / within), nil
+}
+
+// Worst returns the vertex with the largest R̂ and its value — the
+// headline convergence number (all chains converged ⇒ every vertex near
+// 1).
+func (r *Rhat) Worst() (v int, rhat float64, err error) {
+	if r.n == 0 {
+		return 0, 1, nil
+	}
+	v, rhat = -1, math.Inf(-1)
+	for u := 0; u < r.n; u++ {
+		x, aerr := r.At(u)
+		if aerr != nil {
+			return 0, 0, aerr
+		}
+		if x > rhat {
+			v, rhat = u, x
+		}
+	}
+	return v, rhat, nil
+}

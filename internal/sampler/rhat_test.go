@@ -1,0 +1,181 @@
+package sampler
+
+// rhat_test.go: the Gelman–Rubin accumulator against hand-computed values
+// and against its qualitative contract — near 1 on well-mixed chains,
+// large when chains are frozen apart.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/psample"
+)
+
+func rhatBatch(t *testing.T, spec *gibbs.Spec, pin dist.Config, B int, seed int64) *Batch {
+	t.Helper()
+	in, err := gibbs.NewInstance(spec, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := psample.NewRules(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatch(r, B, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRhatHandComputed pins the statistic on a fabricated two-chain
+// two-observation history by writing the lattice directly.
+func TestRhatHandComputed(t *testing.T) {
+	spec, err := model.Coloring(graph.Path(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhatBatch(t, spec, nil, 2, 1)
+	acc, err := b.NewRhat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.At(0); err == nil {
+		t.Error("At with <2 observations accepted")
+	}
+	// Vertex 0 history: chain 0 sees 0,2 (mean 1, var 2); chain 1 sees
+	// 4,2 (mean 3, var 2). W=2, B=T·var(means)=2·2=4 → wait: var of
+	// {1,3} with m−1=1 denominator is 2, times T=2 gives 4. varPlus =
+	// (1/2)·2 + 4/2 = 3; R̂ = sqrt(3/2).
+	lat := b.Lattice()
+	lat.Set(0, 0, 0)
+	lat.Set(0, 1, 4)
+	lat.Set(1, 0, 1)
+	lat.Set(1, 1, 1)
+	acc.Observe()
+	lat.Set(0, 0, 2)
+	lat.Set(0, 1, 2)
+	acc.Observe()
+	got, err := acc.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("R̂(0) = %v, want %v", got, want)
+	}
+	// Vertex 1 never moved in any chain: exactly 1.
+	if got, err := acc.At(1); err != nil || got != 1 {
+		t.Errorf("R̂(frozen vertex) = %v, %v; want 1", got, err)
+	}
+	v, worst, err := acc.Worst()
+	if err != nil || v != 0 || worst != got0(t, acc) {
+		t.Errorf("Worst() = %d, %v, %v; want vertex 0", v, worst, err)
+	}
+}
+
+func got0(t *testing.T, acc *Rhat) float64 {
+	t.Helper()
+	x, err := acc.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestRhatConvergedNearOne runs a well-mixing instance long enough that
+// every vertex's R̂ lands near 1.
+func TestRhatConvergedNearOne(t *testing.T) {
+	spec, err := model.Ising(graph.Cycle(10), 1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhatBatch(t, spec, nil, 8, 3)
+	acc, err := b.NewRhat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := b.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		acc.Observe()
+	}
+	_, worst, err := acc.Worst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1.2 || worst < 1 {
+		t.Errorf("worst R̂ after 200 sweeps of a fast-mixing chain = %v, want ≈ 1", worst)
+	}
+}
+
+// TestRhatFrozenChainsDiverge fabricates chains frozen at different values
+// — the diagnostic must blow up, not average it away.
+func TestRhatFrozenChainsDiverge(t *testing.T) {
+	spec, err := model.Coloring(graph.Path(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhatBatch(t, spec, nil, 2, 1)
+	acc, err := b.NewRhat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := b.Lattice()
+	for i := 0; i < 5; i++ {
+		lat.Set(0, 0, 0)
+		lat.Set(0, 1, 2)
+		acc.Observe()
+	}
+	got, err := acc.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Errorf("R̂ of frozen disagreeing chains = %v, want +Inf", got)
+	}
+}
+
+func TestRhatNeedsTwoChains(t *testing.T) {
+	spec, err := model.Coloring(graph.Path(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhatBatch(t, spec, nil, 1, 1)
+	if _, err := b.NewRhat(); err == nil {
+		t.Error("single-chain R̂ accepted")
+	}
+}
+
+// TestRhatPinnedVertexIsOne checks the pinned-vertex convention through a
+// real run.
+func TestRhatPinnedVertexIsOne(t *testing.T) {
+	spec, err := model.Hardcore(graph.Cycle(6), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := dist.NewConfig(6)
+	pin[3] = model.Out
+	b := rhatBatch(t, spec, pin, 4, 7)
+	acc, err := b.NewRhat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := b.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		acc.Observe()
+	}
+	if got, err := acc.At(3); err != nil || got != 1 {
+		t.Errorf("R̂(pinned vertex) = %v, %v; want exactly 1", got, err)
+	}
+	if acc.Count() != 20 {
+		t.Errorf("Count() = %d, want 20", acc.Count())
+	}
+}
