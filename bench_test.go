@@ -448,10 +448,17 @@ func BenchmarkSamplerSweep(b *testing.B) {
 // across the B chains of a vertex block.
 func BenchmarkBatchSweep(b *testing.B) {
 	_, rules := benchSamplerSetup(b)
-	for _, B := range []int{1, 8, 32} {
+	for _, B := range []int{1, 8, 32, 128, 512} {
 		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
 			bt, err := sampler.NewBatch(rules, B, 11)
 			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up once so the lazily built sweep plan, the worker pool,
+			// and the lattice preflight land outside the timed region — on a
+			// 1x CI run the first subtest would otherwise absorb the whole
+			// plan compilation.
+			if err := bt.Run(1); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()

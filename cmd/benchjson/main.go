@@ -2,7 +2,7 @@
 // format, read from stdin) into a compact machine-readable benchmark report
 // on stdout, for the CI perf-tracking artifact (BENCH_pr.json):
 //
-//	go test -json -run=NONE -bench=. -benchtime=1x -benchmem ./... \
+//	go test -json -run=NONE -bench=. -benchtime=100ms -benchmem ./... \
 //	    | benchjson -baseline BENCH_main.json > BENCH_pr.json
 //
 // Every benchmark result line becomes one record carrying all reported
@@ -15,13 +15,22 @@
 // (BENCH_main.json at the repo root, regenerated each time a PR lands):
 // a per-benchmark ns/op delta table goes to stderr, along with benchmarks
 // that appear only in one of the two reports. The deltas are informational
-// — a 1x smoke run is noisy — but they make the perf trajectory visible on
-// every PR instead of only inside downloaded artifacts.
+// — a short smoke run is noisy — but they make the perf trajectory
+// visible on every PR instead of only inside downloaded artifacts.
 //
 // With -warn P (requires -baseline), benchmarks whose ns/op regressed by
 // more than P percent are flagged with a REGRESSION marker and a summary
-// WARNING line. The flag never changes the exit code — warn-only until
-// enough variance data accumulates to set a failing threshold.
+// WARNING line. The flag never changes the exit code.
+//
+// With -fail P (requires -baseline), the same comparison becomes a gate
+// for the benchmarks named by -faillist: a comma-separated list of name
+// substrings selecting the low-variance benchmarks (by default the
+// GlauberStep, CondWeights and BatchSweep kernels, whose straight-line
+// inner loops are stable once the smoke run amortizes a few hundred
+// iterations). An allowlisted benchmark regressing by more than P
+// percent is marked FAIL and the tool exits nonzero after the full
+// report and delta table are written. Benchmarks outside the allowlist
+// keep the warn-only treatment.
 package main
 
 import (
@@ -68,6 +77,9 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	baseline := flag.String("baseline", "", "committed report to diff against (per-benchmark ns/op deltas on stderr)")
 	warn := flag.Float64("warn", 0, "flag ns/op regressions above this percentage vs the baseline (0 = off; never fails the run)")
+	failPct := flag.Float64("fail", 0, "exit nonzero when an allowlisted benchmark (see -faillist) regresses ns/op above this percentage vs the baseline (0 = off)")
+	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep",
+		"comma-separated benchmark-name substrings gated by -fail; others stay warn-only")
 	flag.Parse()
 	report, failed, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
@@ -80,6 +92,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
+	var gated []string
 	if *baseline != "" {
 		base, err := readReport(*baseline)
 		if err != nil {
@@ -88,13 +101,28 @@ func main() {
 			// PR that introduced it onward.
 			fmt.Fprintln(os.Stderr, "benchjson: no baseline diff:", err)
 		} else {
-			printDelta(os.Stderr, base, report, *warn)
+			gated = printDelta(os.Stderr, base, report, *warn, *failPct, splitList(*faillist))
 		}
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchjson: one or more packages failed")
 		os.Exit(1)
 	}
+	if len(gated) > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated allowlist, dropping empty entries so
+// a trailing comma or an empty -faillist disables the gate cleanly.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // readReport loads a previously written artifact.
@@ -115,16 +143,27 @@ func readReport(path string) (*Report, error) {
 // report has. Benchmarks are keyed by package + name (including sub-
 // benchmark paths). With warnPct > 0, deltas above that percentage get a
 // REGRESSION marker and a trailing WARNING summary (informational only —
-// the exit code is unchanged).
-func printDelta(w io.Writer, base, cur *Report, warnPct float64) {
+// the exit code is unchanged). With failPct > 0, benchmarks whose name
+// contains any of the allow substrings are instead gated at that
+// threshold: they get a FAIL marker, a trailing FAIL summary, and are
+// returned so the caller can turn them into a nonzero exit.
+func printDelta(w io.Writer, base, cur *Report, warnPct, failPct float64, allow []string) []string {
 	key := func(r Result) string { return r.Package + " " + r.Name }
 	baseBy := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseBy[key(r)] = r
 	}
-	fmt.Fprintln(w, "benchjson: ns/op vs baseline (1x smoke run — informational)")
+	allowed := func(name string) bool {
+		for _, sub := range allow {
+			if strings.Contains(name, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	fmt.Fprintln(w, "benchjson: ns/op vs baseline (smoke run)")
 	seen := make(map[string]bool, len(cur.Benchmarks))
-	var regressed []string
+	var regressed, gated []string
 	for _, r := range cur.Benchmarks {
 		k := key(r)
 		seen[k] = true
@@ -140,7 +179,11 @@ func printDelta(w io.Writer, base, cur *Report, warnPct float64) {
 		}
 		pct := 100 * (now - old) / old
 		mark := ""
-		if warnPct > 0 && pct > warnPct {
+		switch {
+		case failPct > 0 && pct > failPct && allowed(r.Name):
+			mark = "  FAIL"
+			gated = append(gated, r.Name)
+		case warnPct > 0 && pct > warnPct:
 			mark = "  REGRESSION"
 			regressed = append(regressed, r.Name)
 		}
@@ -155,6 +198,11 @@ func printDelta(w io.Writer, base, cur *Report, warnPct float64) {
 		fmt.Fprintf(w, "benchjson: WARNING: %d benchmark(s) regressed > %.0f%% ns/op vs baseline: %s\n",
 			len(regressed), warnPct, strings.Join(regressed, ", "))
 	}
+	if len(gated) > 0 {
+		fmt.Fprintf(w, "benchjson: FAIL: %d allowlisted benchmark(s) regressed > %.0f%% ns/op vs baseline: %s\n",
+			len(gated), failPct, strings.Join(gated, ", "))
+	}
+	return gated
 }
 
 // parse consumes the event stream, echoing benchmark-relevant output lines

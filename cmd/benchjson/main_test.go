@@ -99,7 +99,7 @@ func TestPrintDelta(t *testing.T) {
 		{Package: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 25}},
 	}}
 	var out bytes.Buffer
-	printDelta(&out, base, cur, 0)
+	printDelta(&out, base, cur, 0, 0, nil)
 	s := out.String()
 	for _, want := range []string{"+50.0%", "-50.0%", "new", "BenchmarkNew", "missing", "BenchmarkGone"} {
 		if !strings.Contains(s, want) {
@@ -129,13 +129,73 @@ func TestPrintDeltaWarn(t *testing.T) {
 		{Package: "p", Name: "BenchmarkFine", Metrics: map[string]float64{"ns/op": 90}},
 	}}
 	var out bytes.Buffer
-	printDelta(&out, base, cur, 25)
+	gated := printDelta(&out, base, cur, 25, 0, nil)
 	s := out.String()
 	if strings.Count(s, "REGRESSION") != 1 || !strings.Contains(s, "BenchmarkSlow") {
 		t.Errorf("expected exactly BenchmarkSlow flagged:\n%s", s)
 	}
 	if !strings.Contains(s, "WARNING: 1 benchmark(s) regressed > 25%") {
 		t.Errorf("missing warn summary:\n%s", s)
+	}
+	if len(gated) != 0 {
+		t.Errorf("warn-only run gated %v", gated)
+	}
+}
+
+// TestPrintDeltaFail pins the failing gate: only allowlisted benchmarks
+// (name-substring match) beyond the -fail threshold are returned, marked
+// FAIL, and summarized; allowlisted deltas at or under the threshold and
+// non-allowlisted regressions of any size stay warn-only.
+func TestPrintDeltaFail(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkBatchSweep/B=32", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkBatchSweep/B=8", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkGlauberStep", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkNoisy", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkBatchSweep/B=32", Metrics: map[string]float64{"ns/op": 180}},
+		{Package: "p", Name: "BenchmarkBatchSweep/B=8", Metrics: map[string]float64{"ns/op": 150}}, // exactly the threshold: not gated
+		{Package: "p", Name: "BenchmarkGlauberStep", Metrics: map[string]float64{"ns/op": 130}},    // allowlisted, above warn, below fail
+		{Package: "p", Name: "BenchmarkNoisy", Metrics: map[string]float64{"ns/op": 900}},          // not allowlisted: warn only
+	}}
+	var out bytes.Buffer
+	gated := printDelta(&out, base, cur, 25, 50, []string{"GlauberStep", "BatchSweep"})
+	s := out.String()
+	if len(gated) != 1 || gated[0] != "BenchmarkBatchSweep/B=32" {
+		t.Errorf("gated = %v, want exactly BenchmarkBatchSweep/B=32:\n%s", gated, s)
+	}
+	if strings.Count(s, "  FAIL") != 1 {
+		t.Errorf("expected exactly one FAIL marker:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL: 1 allowlisted benchmark(s) regressed > 50%") {
+		t.Errorf("missing fail summary:\n%s", s)
+	}
+	// The sub-threshold allowlisted benchmarks and the noisy outsider all
+	// fall back to the warn path.
+	if strings.Count(s, "REGRESSION") != 3 {
+		t.Errorf("expected B=8, GlauberStep and Noisy as warn-only REGRESSIONs:\n%s", s)
+	}
+	// With no allowlist the gate is inert even when -fail is set.
+	out.Reset()
+	if g := printDelta(&out, base, cur, 0, 50, nil); len(g) != 0 {
+		t.Errorf("empty allowlist gated %v", g)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" GlauberStep, CondWeights ,,BatchSweep, ")
+	want := []string{"GlauberStep", "CondWeights", "BatchSweep"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList = %v, want %v", got, want)
+		}
+	}
+	if splitList("") != nil {
+		t.Error("empty list must disable the gate")
 	}
 }
 

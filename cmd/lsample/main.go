@@ -4,7 +4,9 @@
 // dynamics from the internal/sampler registry (glauber, luby, metropolis,
 // chromatic) run on the sharded in-process engines. -chains runs the
 // batched multi-chain engine: B independent chromatic chains advanced in
-// lockstep over one shared compiled engine.
+// lockstep over one shared compiled engine. -cpuprofile and -memprofile
+// write pprof profiles of the whole run, so the fused batch kernels can
+// be profiled under realistic schedules without a benchmark harness.
 //
 // Usage:
 //
@@ -16,6 +18,8 @@
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
 //	lsample -model ising -graph torus -n 16 -algo chromatic -chains 16 -rhat
+//	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 64 \
+//	    -sweeps 500 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -68,6 +74,47 @@ type options struct {
 	sweeps  int
 	chains  int
 	rhat    bool
+	cpuprof string
+	memprof string
+}
+
+// startProfiles wires the optional pprof outputs around the run: CPU
+// profiling starts immediately, and the returned stop function finishes
+// the CPU profile and writes a GC-settled heap profile. Profiles cover
+// the whole run (setup + sampling) — profile long runs (-sweeps, -chains)
+// so the fused kernels dominate the samples.
+func startProfiles(o options) (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.cpuprof != "" {
+		cpuFile, err = os.Create(o.cpuprof)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if o.memprof != "" {
+			f, err := os.Create(o.memprof)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(args []string, out *os.File) error {
@@ -87,9 +134,25 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.sweeps, "sweeps", 64, "sweep-equivalents for -algo when -rounds is 0")
 	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched engine (-algo chromatic)")
 	fs.BoolVar(&o.rhat, "rhat", false, "report the worst-vertex cross-chain Gelman–Rubin R̂ (needs -algo chromatic and -chains ≥ 2)")
+	fs.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	fs.StringVar(&o.memprof, "memprofile", "", "write a GC-settled heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := startProfiles(o)
+	if err != nil {
+		return err
+	}
+	err = sample(out, o)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+// sample is the profiled section of run: everything from model
+// construction through the sampling itself.
+func sample(out *os.File, o options) error {
 	g, err := buildGraph(o.graph, o.n)
 	if err != nil {
 		return err

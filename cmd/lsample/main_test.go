@@ -133,6 +133,35 @@ func TestRunRhat(t *testing.T) {
 	}
 }
 
+// TestRunProfiles checks the pprof wiring: both profile files must exist
+// and be non-empty after a run, and an uncreatable profile path must fail
+// the run instead of sampling unprofiled.
+func TestRunProfiles(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	args := []string{"-model", "hardcore", "-graph", "cycle", "-n", "16", "-algo", "chromatic",
+		"-chains", "4", "-sweeps", "5", "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, devnull); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", path, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	if err := run([]string{"-n", "6", "-cpuprofile", dir + "/no/such/dir.pprof"}, devnull); err == nil {
+		t.Error("uncreatable -cpuprofile path accepted")
+	}
+}
+
 // TestRunSurfacesDomainError checks that an unrepresentable lattice shape
 // comes back as the state container's typed error, the contract main()
 // relies on for its friendlier rendering.

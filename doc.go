@@ -7,6 +7,9 @@
 // correlation-decay inference oracles, and the paper's reductions (the
 // sampling/inference equivalence, the boosting lemma, the distributed JVV
 // exact sampler, and the strong-spatial-mixing characterization). The
+// performance substrate — the compact state lattice, the compiled
+// factor-table engine with its fused sweep-plan batch kernel, and the
+// batched multi-chain sampler it drives — is documented in README.md. The
 // runnable entry points are the commands under cmd/ and the examples under
 // examples/; the experiment suite that reproduces every claim of the paper
 // is internal/experiment, benchmarked from bench_test.go in this directory.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 
 	"repro/internal/dist"
 )
@@ -38,6 +39,12 @@ type Compiled struct {
 	// one scope yields a single entry, unlike Spec.FactorsAt).
 	off []int32
 	idx []int32
+
+	// plan is the per-vertex sweep plan of the fused batch kernels (see
+	// plan.go), built lazily on first use — Compile stays cheap for callers
+	// that never batch.
+	planOnce sync.Once
+	plan     *SweepPlan
 }
 
 // cfactor is one compiled factor: either a dense table (fast path) or the

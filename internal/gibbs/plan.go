@@ -1,0 +1,566 @@
+package gibbs
+
+// plan.go compiles the per-vertex factor walk of batch.go into flat sweep
+// plans and fuses heat-bath sampling into the weight computation — the
+// "run the hot loop at hardware speed" layer on top of the chain-major
+// lattice of PR 5.
+//
+// CondWeightsBatch interprets the factor graph on every call: it walks
+// FactorsAt(v), re-derives which scope entries are v, re-reads unary
+// factors that cannot differ between chains, and validates every cell it
+// touches. A SweepPlan does that interpretation exactly once per Compiled:
+// for each vertex the prefix run of unary factors is folded into a single
+// precomputed per-symbol prior row, each dense pair factor is lowered to a
+// flat gather (neighbor row, accumulated strides, table), factors of
+// three or more distinct vertices keep a generic entry, and closure-backed
+// factors keep a fallback entry — so the hot loop is a straight run over a
+// flat instruction stream with no dispatch and no per-cell checks. Every
+// multiplication happens in the same order as the interpreted kernel, so
+// planned weights are bit-identical to CondWeightsBatch (pinned by the
+// root-level property test across all model builders).
+//
+// The fused kernel SampleVertexBatch draws the heat-bath symbol in the
+// same pass that computes the weight row, through the value-type
+// dist.Xoshiro generator instead of the *rand.Rand interface, with a
+// division-free threshold draw at q = 2. Validity is the caller's
+// contract: the lattice must pass state.Lattice.CheckAssigned before a
+// stage (sampled symbols are always in range, so one preflight per Run
+// covers every subsequent stage), which is what lets the innermost loops
+// drop the per-(neighbor, chain) checks of the interpreted kernel.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/state"
+)
+
+// planOpKind discriminates the flat instruction stream of a vertexPlan.
+type planOpKind uint8
+
+const (
+	// opUnary multiplies a precomputed chain-independent per-symbol row —
+	// a unary factor that appears after the first non-unary factor, so it
+	// cannot be folded into the prior without reordering multiplications.
+	opUnary planOpKind = iota
+	// opPair is a dense table factor with exactly one distinct scope
+	// vertex besides v: one gather per chain.
+	opPair
+	// opGeneric is a dense table factor with two or more distinct scope
+	// vertices besides v: mixed-radix base accumulation per chain.
+	opGeneric
+	// opClosure evaluates an uncompiled factor through its closure.
+	opClosure
+)
+
+// planOp is one instruction of a vertex's sweep plan. Fields are populated
+// by kind; slices alias the Compiled engine and are never written.
+type planOp struct {
+	kind planOpKind
+	// u is the neighbor vertex (opPair) or the plan's own vertex
+	// (opClosure, where the scope needs the candidate symbol substituted).
+	u int32
+	// su is the accumulated stride of u's scope occurrences (opPair); the
+	// per-chain table base is cell(u)·su, exactly the occurrence-by-
+	// occurrence sum of the interpreted kernel (int32 distributivity).
+	su int32
+	// sv is the accumulated stride of v's occurrences (opPair, opGeneric).
+	sv int32
+	// row is the per-symbol factor row (opUnary).
+	row []float64
+	// table is the dense factor table (opPair, opGeneric).
+	table []float64
+	// scope/strides are the non-v scope occurrences (opGeneric), in scope
+	// order so the base accumulates in the interpreted kernel's order.
+	scope   []int32
+	strides []int32
+	// f is the compiled factor (opClosure).
+	f *cfactor
+}
+
+// vertexPlan is the compiled conditional of one vertex: weights start at
+// the prior row (all-ones when nil) and each op multiplies in, in factor
+// index order. pairOnly marks plans whose every op is a pair gather or a
+// unary row — the all-pairwise case (hardcore, Ising, colorings) — which
+// the fused sampler runs chain-major with the weights held in registers
+// instead of round-tripping through the weight buffer.
+type vertexPlan struct {
+	prior    []float64
+	ops      []planOp
+	pairOnly bool
+}
+
+// SweepPlan holds one vertexPlan per vertex of a Compiled engine. It is
+// immutable after construction and safe for concurrent use.
+type SweepPlan struct {
+	q     int
+	verts []vertexPlan
+}
+
+// Plan returns the engine's sweep plan, building it on first call.
+func (c *Compiled) Plan() *SweepPlan {
+	c.planOnce.Do(func() { c.plan = buildPlan(c) })
+	return c.plan
+}
+
+// buildPlan lowers every vertex's factor list into a vertexPlan.
+func buildPlan(c *Compiled) *SweepPlan {
+	p := &SweepPlan{q: c.q, verts: make([]vertexPlan, c.n)}
+	for v := 0; v < c.n; v++ {
+		vp := &p.verts[v]
+		for _, fi := range c.FactorsAt(v) {
+			f := &c.factors[fi]
+			sv := int32(0)
+			var others []int32  // distinct non-v scope vertices
+			var gScope []int32  // non-v occurrences, in scope order
+			var gStride []int32 // their strides
+			su := int32(0)
+			for j, u := range f.scope {
+				if int(u) == v {
+					sv += f.strides[j]
+					continue
+				}
+				gScope = append(gScope, u)
+				gStride = append(gStride, f.strides[j])
+				su += f.strides[j]
+				seen := false
+				for _, o := range others {
+					if o == u {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					others = append(others, u)
+				}
+			}
+			if len(others) == 0 {
+				// Unary in v: the factor row is chain-independent, so it is
+				// evaluated once here. While no other op has been emitted,
+				// fold it into the prior — weights start at 1 and 1·a = a
+				// exactly, so prior[x] accumulates the same float sequence
+				// the interpreted kernel produces. A unary factor appearing
+				// after a non-unary one keeps its stream position as opUnary.
+				row := unaryRow(f, c.q, sv)
+				if len(vp.ops) == 0 {
+					if vp.prior == nil {
+						vp.prior = row
+					} else {
+						for x := range vp.prior {
+							vp.prior[x] *= row[x]
+						}
+					}
+					continue
+				}
+				vp.ops = append(vp.ops, planOp{kind: opUnary, row: row})
+				continue
+			}
+			if f.table == nil {
+				// Closure ops keep the whole scope; u records v itself so
+				// the evaluation loop can substitute the candidate symbol.
+				vp.ops = append(vp.ops, planOp{kind: opClosure, f: f, u: int32(v)})
+				continue
+			}
+			if len(others) == 1 {
+				vp.ops = append(vp.ops, planOp{kind: opPair, u: others[0], su: su, sv: sv, table: f.table})
+				continue
+			}
+			vp.ops = append(vp.ops, planOp{kind: opGeneric, sv: sv, table: f.table, scope: gScope, strides: gStride})
+		}
+		vp.pairOnly = true
+		for _, op := range vp.ops {
+			if op.kind != opPair && op.kind != opUnary {
+				vp.pairOnly = false
+				break
+			}
+		}
+	}
+	return p
+}
+
+// unaryRow materializes the per-symbol row of a factor unary in its vertex
+// (sv is the accumulated stride of the vertex's occurrences).
+func unaryRow(f *cfactor, q int, sv int32) []float64 {
+	row := make([]float64, q)
+	if f.table != nil {
+		for x := int32(0); x < int32(q); x++ {
+			row[x] = f.table[x*sv]
+		}
+		return row
+	}
+	assign := make([]int, len(f.scope))
+	for x := 0; x < q; x++ {
+		for j := range assign {
+			assign[j] = x
+		}
+		row[x] = f.eval(assign)
+	}
+	return row
+}
+
+// planWeightRow fills w (length (c1−c0)·q) with the conditional weight
+// rows of vertex v's plan for chains c0 ≤ c < c1 — the width-specialized
+// straight-line body shared by CondWeightsBatchPlan and the fused sampler.
+// Every cell the plan reads must hold an assigned in-range symbol
+// (state.Lattice.CheckAssigned); the only diagnostics left in here are
+// Go's bounds checks.
+func planWeightRow[T state.Cells](q int, vp *vertexPlan, cells []T, B, c0, c1 int, w []float64, sc *BatchScratch) {
+	nb := c1 - c0
+	if vp.prior == nil {
+		for i := range w {
+			w[i] = 1
+		}
+	} else {
+		for i := 0; i < nb; i++ {
+			copy(w[i*q:(i+1)*q], vp.prior)
+		}
+	}
+	q32 := int32(q)
+	for oi := range vp.ops {
+		op := &vp.ops[oi]
+		switch op.kind {
+		case opUnary:
+			urow := op.row
+			for i := 0; i < nb; i++ {
+				row := w[i*q : (i+1)*q]
+				for x := range row {
+					row[x] *= urow[x]
+				}
+			}
+		case opPair:
+			nrow := cells[int(op.u)*B+c0 : int(op.u)*B+c1]
+			table, su, sv := op.table, op.su, op.sv
+			switch q32 {
+			case 2:
+				for i, xu := range nrow {
+					bi := int32(xu) * su
+					row := w[2*i : 2*i+2 : 2*i+2]
+					row[0] *= table[bi]
+					row[1] *= table[bi+sv]
+				}
+			case 3:
+				for i, xu := range nrow {
+					bi := int32(xu) * su
+					row := w[3*i : 3*i+3 : 3*i+3]
+					row[0] *= table[bi]
+					row[1] *= table[bi+sv]
+					row[2] *= table[bi+2*sv]
+				}
+			default:
+				for i, xu := range nrow {
+					bi := int32(xu) * su
+					row := w[i*q : (i+1)*q]
+					for x := int32(0); x < q32; x++ {
+						row[x] *= table[bi+x*sv]
+					}
+				}
+			}
+		case opGeneric:
+			base := sc.base[:nb]
+			for i := range base {
+				base[i] = 0
+			}
+			for j, u := range op.scope {
+				nrow := cells[int(u)*B+c0 : int(u)*B+c1]
+				st := op.strides[j]
+				for i, x := range nrow {
+					base[i] += int32(x) * st
+				}
+			}
+			table, sv := op.table, op.sv
+			switch q32 {
+			case 2:
+				for i := 0; i < nb; i++ {
+					bi := base[i]
+					row := w[2*i : 2*i+2 : 2*i+2]
+					row[0] *= table[bi]
+					row[1] *= table[bi+sv]
+				}
+			case 3:
+				for i := 0; i < nb; i++ {
+					bi := base[i]
+					row := w[3*i : 3*i+3 : 3*i+3]
+					row[0] *= table[bi]
+					row[1] *= table[bi+sv]
+					row[2] *= table[bi+2*sv]
+				}
+			default:
+				for i := 0; i < nb; i++ {
+					bi := base[i]
+					row := w[i*q : (i+1)*q]
+					for x := int32(0); x < q32; x++ {
+						row[x] *= table[bi+x*sv]
+					}
+				}
+			}
+		case opClosure:
+			f := op.f
+			if len(sc.assign) < len(f.scope) {
+				sc.assign = make([]int, len(f.scope))
+			}
+			assign := sc.assign[:len(f.scope)]
+			for i := 0; i < nb; i++ {
+				ch := c0 + i
+				for x := 0; x < q; x++ {
+					for j, u := range f.scope {
+						if u == op.u {
+							assign[j] = x
+							continue
+						}
+						assign[j] = int(cells[int(u)*B+ch])
+					}
+					w[i*q+x] *= f.eval(assign)
+				}
+			}
+		}
+	}
+}
+
+// CondWeightsBatchPlan is CondWeightsBatch evaluated through the sweep
+// plan: identical contract, bit-identical weights, but the lattice must
+// already have passed CheckAssigned — the plan kernels do not diagnose
+// unset cells. It exists for the bit-identity property tests and for
+// callers that want weights without sampling.
+func (c *Compiled) CondWeightsBatchPlan(l *state.Lattice, v, c0, c1 int, buf []float64, sc *BatchScratch) ([]float64, error) {
+	nb, err := c.planArgs(l, v, c0, c1, len(buf))
+	if err != nil {
+		return nil, err
+	}
+	if sc == nil || len(sc.base) < nb {
+		sc = NewBatchScratch(nb)
+	}
+	w := buf[:nb*c.q]
+	vp := &c.Plan().verts[v]
+	if u8 := l.Raw8(); u8 != nil {
+		planWeightRow(c.q, vp, u8, l.Chains(), c0, c1, w, sc)
+	} else {
+		planWeightRow(c.q, vp, l.RawWide(), l.Chains(), c0, c1, w, sc)
+	}
+	return w, nil
+}
+
+// SampleVertexBatch is the fused stage kernel of the batched sampler: it
+// computes the heat-bath conditional weight rows of vertex v for chains
+// c0 ≤ c < c1 through the sweep plan and immediately draws each chain's
+// new symbol into the lattice, one rng.Float64 per chain. buf needs
+// (c1−c0)·q entries and sc must come from NewBatchScratch; the lattice
+// must have passed CheckAssigned (the kernel writes only in-range
+// symbols, so one preflight covers any number of subsequent stages).
+func (c *Compiled) SampleVertexBatch(l *state.Lattice, v, c0, c1 int, buf []float64, sc *BatchScratch, rng *dist.Xoshiro) error {
+	nb, err := c.planArgs(l, v, c0, c1, len(buf))
+	if err != nil {
+		return err
+	}
+	if sc == nil || len(sc.base) < nb {
+		sc = NewBatchScratch(nb)
+	}
+	w := buf[:nb*c.q]
+	vp := &c.Plan().verts[v]
+	if u8 := l.Raw8(); u8 != nil {
+		return sampleVertexCells(c.q, vp, u8, l.Chains(), v, c0, c1, w, sc, rng)
+	}
+	return sampleVertexCells(c.q, vp, l.RawWide(), l.Chains(), v, c0, c1, w, sc, rng)
+}
+
+// planArgs validates the shared argument contract of the plan kernels,
+// returning the block width c1−c0.
+func (c *Compiled) planArgs(l *state.Lattice, v, c0, c1, bufLen int) (int, error) {
+	if v < 0 || v >= c.n {
+		return 0, fmt.Errorf("gibbs: batch conditional vertex %d out of range", v)
+	}
+	nb := c1 - c0
+	if c0 < 0 || c1 > l.Chains() || nb <= 0 {
+		return 0, fmt.Errorf("gibbs: batch chain range [%d,%d) invalid for B=%d", c0, c1, l.Chains())
+	}
+	if l.N() < c.n {
+		return 0, fmt.Errorf("gibbs: batch lattice has %d vertices, need %d", l.N(), c.n)
+	}
+	if bufLen < nb*c.q {
+		return 0, fmt.Errorf("gibbs: batch buffer has %d entries, need (c1−c0)·q = %d", bufLen, nb*c.q)
+	}
+	return nb, nil
+}
+
+// sampleVertexCells is the width-specialized fused body: weight rows, then
+// one threshold draw per chain written straight into v's lattice row. The
+// draw reproduces dist.SampleWeights semantics — nonpositive entries carry
+// no mass, rounding slack falls to the last positive symbol, and bad rows
+// (negative, NaN, infinite, or zero-mass) surface as errors built in the
+// cold path.
+func sampleVertexCells[T state.Cells](q int, vp *vertexPlan, cells []T, B, v, c0, c1 int, w []float64, sc *BatchScratch, rng *dist.Xoshiro) error {
+	if vp.pairOnly {
+		switch q {
+		case 2:
+			return samplePairOnlyQ2(vp, cells, B, v, c0, c1, rng)
+		case 3:
+			return samplePairOnlyQ3(vp, cells, B, v, c0, c1, rng)
+		}
+	}
+	planWeightRow(q, vp, cells, B, c0, c1, w, sc)
+	out := cells[v*B+c0 : v*B+c1]
+	if q == 2 {
+		// Division-free threshold draw: u ~ U[0, total) lands in [0, w0)
+		// for symbol 0, exactly sampleWalk with the slack falling to the
+		// last positive symbol.
+		for i := range out {
+			w0, w1 := w[2*i], w[2*i+1]
+			total := w0 + w1
+			if !(w0 >= 0 && w1 >= 0 && total > 0 && total <= math.MaxFloat64) {
+				return rowError(w[2*i:2*i+2], v, c0+i)
+			}
+			u := rng.Float64() * total
+			x := T(0)
+			if w0 > 0 && u < w0 {
+				x = 0
+			} else if w1 > 0 {
+				x = 1
+			}
+			out[i] = x
+		}
+		return nil
+	}
+	for i := range out {
+		row := w[i*q : (i+1)*q]
+		total := 0.0
+		ok := true
+		for _, x := range row {
+			if !(x >= 0) {
+				ok = false
+				break
+			}
+			total += x
+		}
+		if !ok || !(total > 0 && total <= math.MaxFloat64) {
+			return rowError(row, v, c0+i)
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		last := -1
+		for x, wx := range row {
+			if wx <= 0 {
+				continue
+			}
+			last = x
+			acc += wx
+			if u < acc {
+				break
+			}
+		}
+		out[i] = T(last)
+	}
+	return nil
+}
+
+// samplePairOnlyQ2 is the chain-major register path at q = 2: for each
+// chain the weight pair starts at the prior, every op multiplies in
+// (prior, then ops, in factor order — the multiplication sequence of the
+// buffered path, so the weights are bit-identical; the float64 registers
+// round-trip through nothing), and the threshold draw happens in place.
+func samplePairOnlyQ2[T state.Cells](vp *vertexPlan, cells []T, B, v, c0, c1 int, rng *dist.Xoshiro) error {
+	p0, p1 := 1.0, 1.0
+	if vp.prior != nil {
+		p0, p1 = vp.prior[0], vp.prior[1]
+	}
+	ops := vp.ops
+	out := cells[v*B+c0 : v*B+c1]
+	for i := range out {
+		w0, w1 := p0, p1
+		for oi := range ops {
+			op := &ops[oi]
+			if op.kind == opPair {
+				bi := int32(cells[int(op.u)*B+c0+i]) * op.su
+				w0 *= op.table[bi]
+				w1 *= op.table[bi+op.sv]
+			} else {
+				w0 *= op.row[0]
+				w1 *= op.row[1]
+			}
+		}
+		total := w0 + w1
+		if !(w0 >= 0 && w1 >= 0 && total > 0 && total <= math.MaxFloat64) {
+			return rowError([]float64{w0, w1}, v, c0+i)
+		}
+		u := rng.Float64() * total
+		x := T(0)
+		if w0 > 0 && u < w0 {
+			x = 0
+		} else if w1 > 0 {
+			x = 1
+		}
+		out[i] = x
+	}
+	return nil
+}
+
+// samplePairOnlyQ3 is samplePairOnlyQ2 at q = 3, with the three-symbol
+// walk inlined (sampleWalk semantics: nonpositive symbols carry no mass,
+// slack falls to the last positive one).
+func samplePairOnlyQ3[T state.Cells](vp *vertexPlan, cells []T, B, v, c0, c1 int, rng *dist.Xoshiro) error {
+	p0, p1, p2 := 1.0, 1.0, 1.0
+	if vp.prior != nil {
+		p0, p1, p2 = vp.prior[0], vp.prior[1], vp.prior[2]
+	}
+	ops := vp.ops
+	out := cells[v*B+c0 : v*B+c1]
+	for i := range out {
+		w0, w1, w2 := p0, p1, p2
+		for oi := range ops {
+			op := &ops[oi]
+			if op.kind == opPair {
+				bi := int32(cells[int(op.u)*B+c0+i]) * op.su
+				w0 *= op.table[bi]
+				w1 *= op.table[bi+op.sv]
+				w2 *= op.table[bi+2*op.sv]
+			} else {
+				w0 *= op.row[0]
+				w1 *= op.row[1]
+				w2 *= op.row[2]
+			}
+		}
+		total := w0 + w1 + w2
+		if !(w0 >= 0 && w1 >= 0 && w2 >= 0 && total > 0 && total <= math.MaxFloat64) {
+			return rowError([]float64{w0, w1, w2}, v, c0+i)
+		}
+		// u ≥ 0, so u < prefix-sum subsumes the nonpositive-skip of
+		// sampleWalk (zero weights add nothing to the prefix); only the
+		// rounding-slack branch needs the last-positive rule.
+		u := rng.Float64() * total
+		var x T
+		switch {
+		case u < w0:
+			x = 0
+		case u < w0+w1:
+			x = 1
+		case w2 > 0:
+			x = 2
+		case w1 > 0:
+			x = 1
+		default:
+			x = 0
+		}
+		out[i] = x
+	}
+	return nil
+}
+
+// rowError diagnoses a bad weight row off the hot path, mirroring the
+// errors of dist.SampleWeights (including dist.ErrZeroMass) wrapped with
+// the (vertex, chain) site.
+func rowError(row []float64, v, chain int) error {
+	var err error = dist.ErrZeroMass
+	for i, x := range row {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			err = fmt.Errorf("dist: weight %v at index %d", x, i)
+			break
+		}
+	}
+	total := 0.0
+	for _, x := range row {
+		total += x
+	}
+	if math.IsInf(total, 1) {
+		err = fmt.Errorf("dist: total weight overflows to +Inf")
+	}
+	return fmt.Errorf("gibbs: heat-bath at vertex %d chain %d: %w", v, chain, err)
+}

@@ -33,10 +33,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/construct"
 	"repro/internal/dist"
 	"repro/internal/gibbs"
+	"repro/internal/graph"
 	"repro/internal/state"
 )
 
@@ -44,8 +46,9 @@ import (
 // per-vertex proposal distributions and the acceptance-filtered factors of
 // LocalMetropolis, the free-vertex structure used by LubyGlauber's phase
 // selection, and the compiled evaluation engine behind both. One Rules
-// value is immutable after construction and safe for concurrent use by any
-// number of samplers.
+// value is immutable after construction (the lazily built class schedule
+// sits behind a sync.Once) and safe for concurrent use by any number of
+// samplers.
 type Rules struct {
 	in  *gibbs.Instance
 	eng *gibbs.Compiled
@@ -69,6 +72,13 @@ type Rules struct {
 	// (closure-backed acceptance factors have no enumerable maximum) so
 	// that LubyGlauber, which never filters, still works.
 	accErr error
+
+	// sched is the chromatic stage schedule over free vertices, colored
+	// lazily once (ClassSchedule) so repeated batch construction over one
+	// Rules — pooled chains, restarted diagnostics — does not recolor the
+	// graph.
+	schedOnce sync.Once
+	sched     [][]int
 }
 
 // accFactor is one acceptance-filtered factor of LocalMetropolis.
@@ -380,6 +390,36 @@ func filterStage[T state.Cells](r *Rules, old []T, oB int, prop []T, pB int, cha
 		accOK[j] = rng.Float64() < w*af.scale
 	}
 	return nil
+}
+
+// ClassSchedule returns the deterministic chromatic stage schedule: the
+// free vertices grouped into independent sets by a proper coloring of the
+// interaction graph — natural-order greedy or the degeneracy
+// (smallest-last) order, whichever leaves fewer classes after the pinned
+// vertices are dropped (a coloring that needs more colors on the full
+// graph may still have fewer surviving classes). The schedule is computed
+// once per Rules and cached; the returned slices alias that cache and
+// must not be modified.
+func (r *Rules) ClassSchedule() [][]int {
+	r.schedOnce.Do(func() {
+		g := r.in.Spec.G
+		freeClasses := func(colors []int) [][]int {
+			for v := range colors {
+				if !r.free[v] {
+					colors[v] = -1
+				}
+			}
+			return graph.ColorClasses(colors)
+		}
+		gc, _ := g.GreedyColoring()
+		classes := freeClasses(gc)
+		dc, _ := g.DegeneracyColoring()
+		if dcl := freeClasses(dc); len(dcl) < len(classes) {
+			classes = dcl
+		}
+		r.sched = classes
+	})
+	return r.sched
 }
 
 // winsPhase reports whether free vertex v wins the round's Luby phase: its

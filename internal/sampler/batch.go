@@ -9,43 +9,48 @@ package sampler
 // bookkeeping — the mixed-radix index computation and factor-table cache
 // misses that dominate single-chain sweeps (per the PR 2 measurements) are
 // paid once per vertex instead of once per chain, and the compact cells
-// keep the whole B×n working set in cache at large B, which together are
-// the biggest throughput levers for many-chain workloads (independent
-// replicas for empirical TV estimates, the cross-chain R̂ diagnostic in
-// rhat.go, or simply saturating a core with less bookkeeping).
+// keep the whole B×n working set in cache at large B.
 //
-// The stage schedule is adaptive: the engine colors the interaction graph
-// both by natural-order greedy and by the degeneracy (smallest-last) order
-// and keeps whichever uses fewer classes — on sparse graphs the degeneracy
-// bound d+1 undercuts greedy's Δ+1, and fewer classes mean fewer barriers
-// per sweep.
+// The per-stage work runs through the fused sweep-plan kernel
+// (gibbs.Compiled.SampleVertexBatch): weights and the heat-bath draw in
+// one pass over a flat per-vertex instruction stream, a value-type
+// dist.Xoshiro stream per worker instead of *rand.Rand interface calls,
+// and lattice validity checked once per Run (state.Lattice.CheckAssigned)
+// instead of per cell — sampled symbols are always in range, so one
+// preflight covers every subsequent stage.
 //
-// Correctness: a stage updates one greedy color class simultaneously in
-// every chain. Within a chain the class is an independent set of the
-// interaction graph, and factor scopes are cliques (enforced by
-// psample.NewRules), so no two simultaneous updates share a factor and the
-// stage is a product of ordinary heat-bath kernels — exactly the
-// LubyGlauber argument with the random independent set replaced by a
-// deterministic one. Across chains there is no interaction at all. The
-// psample worker pool (RunRounds) partitions the stage's chains×vertices
-// item grid statically across workers.
+// The stage schedule is the cached psample.Rules.ClassSchedule: the
+// interaction graph colored by natural-order greedy and by the degeneracy
+// (smallest-last) order, keeping whichever uses fewer classes — fewer
+// classes mean fewer barriers per sweep.
+//
+// Correctness: a stage updates one color class simultaneously in every
+// chain. Within a chain the class is an independent set of the interaction
+// graph, and factor scopes are cliques (enforced by psample.NewRules), so
+// no two simultaneous updates share a factor and the stage is a product of
+// ordinary heat-bath kernels — exactly the LubyGlauber argument with the
+// random independent set replaced by a deterministic one. Across chains
+// there is no interaction at all. Workers partition the stage's item grid
+// chain-block-affine: items enumerate groups outermost, so a worker's
+// contiguous item range covers contiguous chain columns across the whole
+// class — each chain column stays with one worker (and its RNG stream)
+// for locality now and the NUMA story later.
 
 import (
-	"fmt"
-	"math/rand"
-
 	"repro/internal/dist"
 	"repro/internal/gibbs"
-	"repro/internal/graph"
 	"repro/internal/psample"
 	"repro/internal/state"
 )
 
 // batchChainBlock is the number of chains one work item advances: chains
 // are processed in groups of this size so the conditional-weight buffer
-// stays small enough to live in L1 while still amortizing the per-vertex
-// factor walk across many chains.
-const batchChainBlock = 32
+// (block·q floats) stays L1-resident while still amortizing the per-vertex
+// plan walk across many chains — hence derived from q, clamped so tiny
+// alphabets still get wide blocks and huge ones still amortize.
+func batchChainBlock(q int) int {
+	return min(max(512/q, 16), 256)
+}
 
 // Batch advances B independent chains of ChromaticGlauber dynamics in
 // lockstep over one shared gibbs.Compiled engine.
@@ -59,54 +64,37 @@ type Batch struct {
 	chains int
 	// lat is the chain-major state lattice: cell (v, c) is chain c at v.
 	lat *state.Lattice
-	// classes is the coloring schedule over free vertices (greedy or
-	// degeneracy order, whichever used fewer classes).
+	// classes is the cached chromatic stage schedule of the rules.
 	classes [][]int
 	sweeps  int
 	workers []batchWorker
 	seed    int64
+	// checked records that the lattice passed its CheckAssigned preflight;
+	// stages write only in-range symbols, so one scan per Reset suffices.
+	checked bool
 }
 
-// batchWorker is the per-worker mutable state: an RNG stream and the
-// batched conditional-weight buffers.
+// batchWorker is the per-worker mutable state: a value-type RNG stream and
+// the batched conditional-weight buffers.
 type batchWorker struct {
-	rng *rand.Rand
+	rng dist.Xoshiro
 	buf []float64
 	sc  *gibbs.BatchScratch
 }
 
 // NewBatch returns a batched engine of the given number of chains, every
 // chain started from the greedy feasible completion of the instance
-// pinning, with per-worker RNG streams derived from seed. The schedule is
-// a proper coloring of the interaction graph restricted to free vertices —
-// natural-order greedy or the degeneracy (smallest-last) order, whichever
-// yields fewer classes — so one sweep is at most min(Δ, d)+1
-// barrier-separated stages.
+// pinning, with per-worker RNG streams derived from seed. The stage
+// schedule is the rules' cached class schedule (at most min(Δ, d)+1
+// barrier-separated stages per sweep), so constructing many batches over
+// one Rules colors the graph once.
 // A nonpositive chain count surfaces as the state container's typed
 // *state.DomainError.
 func NewBatch(r *psample.Rules, chains int, seed int64) (*Batch, error) {
-	g := r.Instance().Spec.G
-	// Compare the schedules AFTER restricting to free vertices: a coloring
-	// that needs more colors on the full graph may still have fewer
-	// surviving classes once the pinned vertices are dropped.
-	freeClasses := func(colors []int) [][]int {
-		for v := range colors {
-			if !r.Free(v) {
-				colors[v] = -1
-			}
-		}
-		return graph.ColorClasses(colors)
-	}
-	gc, _ := g.GreedyColoring()
-	classes := freeClasses(gc)
-	dc, _ := g.DegeneracyColoring()
-	if dcl := freeClasses(dc); len(dcl) < len(classes) {
-		classes = dcl
-	}
 	b := &Batch{
 		rules:   r,
 		chains:  chains,
-		classes: classes,
+		classes: r.ClassSchedule(),
 	}
 	if err := b.Reset(seed); err != nil {
 		return nil, err
@@ -124,6 +112,7 @@ func (b *Batch) Reset(seed int64) error {
 	b.seed = seed
 	b.sweeps = 0
 	b.workers = b.workers[:0]
+	b.checked = false
 	return nil
 }
 
@@ -147,44 +136,40 @@ func (b *Batch) Chain(c int) dist.Config {
 func (b *Batch) Lattice() *state.Lattice { return b.lat }
 
 // ensureWorkers sizes the per-worker state for w workers.
-func (b *Batch) ensureWorkers(w int) {
-	cb := min(b.chains, batchChainBlock)
+func (b *Batch) ensureWorkers(w, cb int) {
 	for len(b.workers) < w {
 		i := len(b.workers)
 		b.workers = append(b.workers, batchWorker{
-			rng: dist.SeedStream(b.seed, int64(i)),
+			rng: dist.NewXoshiro(b.seed, int64(i)),
 			buf: make([]float64, cb*b.rules.Q()),
 			sc:  gibbs.NewBatchScratch(cb),
 		})
 	}
 }
 
-// sampleRow draws the heat-bath symbols of chains c0 ≤ c < c1 at vertex v
-// from the batched conditional weights into the raw vertex row — the
-// width-specialized write-back of one stage item.
-func sampleRow[T state.Cells](row []T, wbuf []float64, q, v, c0, c1 int, rng *rand.Rand) error {
-	for c := c0; c < c1; c++ {
-		x, err := dist.SampleWeights(wbuf[(c-c0)*q:(c-c0+1)*q], rng)
-		if err != nil {
-			return fmt.Errorf("sampler: heat-bath at vertex %d chain %d: %w", v, c, err)
-		}
-		row[c] = T(x)
-	}
-	return nil
-}
-
 // Run executes the given number of full sweeps; each sweep is one
 // barrier-separated stage per color class, and each stage advances every
-// chain at every vertex of the class. The worker pool statically
-// partitions the stage's (vertex, chain-group) item grid.
+// chain at every vertex of the class through the fused sweep-plan kernel.
+// The worker pool statically partitions the stage's (chain-group, vertex)
+// item grid with groups outermost, so each worker owns contiguous chain
+// columns.
 func (b *Batch) Run(sweeps int) error {
 	if len(b.classes) == 0 {
 		// Fully pinned instance: a sweep is a no-op.
 		b.sweeps += sweeps
 		return nil
 	}
+	// One preflight scan replaces the per-cell validity checks of the
+	// fused kernel: every symbol the stages write is in range, so the
+	// invariant survives until the next Reset.
+	if !b.checked {
+		if err := b.lat.CheckAssigned(); err != nil {
+			return err
+		}
+		b.checked = true
+	}
 	B := b.chains
-	cb := min(B, batchChainBlock)
+	cb := min(B, batchChainBlock(b.rules.Q()))
 	groups := (B + cb - 1) / cb
 	maxItems := 0
 	for _, class := range b.classes {
@@ -197,31 +182,24 @@ func (b *Batch) Run(sweeps int) error {
 		workers = psample.DefaultWorkers(maxItems * cb)
 	}
 	workers = max(min(workers, maxItems), 1)
-	b.ensureWorkers(workers)
+	b.ensureWorkers(workers, cb)
 	eng := b.rules.Engine()
-	q := b.rules.Q()
 	stages := make([]func(w, round int) error, len(b.classes))
 	for k, class := range b.classes {
-		items := len(class) * groups
+		nclass := len(class)
+		items := nclass * groups
 		stages[k] = func(w, round int) error {
 			lo, hi := psample.BlockOf(items, workers, w)
 			wk := &b.workers[w]
 			for it := lo; it < hi; it++ {
-				v := class[it/groups]
-				c0 := (it % groups) * cb
+				// Groups outermost: a contiguous item range is a run of
+				// whole chain-column groups, so the worker (and its RNG
+				// stream) owns those columns across every vertex of the
+				// class.
+				v := class[it%nclass]
+				c0 := (it / nclass) * cb
 				c1 := min(c0+cb, B)
-				wbuf, err := eng.CondWeightsBatch(b.lat, v, c0, c1, wk.buf, wk.sc)
-				if err != nil {
-					return err
-				}
-				// Write through the raw vertex row: one representation
-				// branch per item instead of one per chain.
-				if row := b.lat.Row8(v); row != nil {
-					err = sampleRow(row, wbuf, q, v, c0, c1, wk.rng)
-				} else {
-					err = sampleRow(b.lat.RowWide(v), wbuf, q, v, c0, c1, wk.rng)
-				}
-				if err != nil {
+				if err := eng.SampleVertexBatch(b.lat, v, c0, c1, wk.buf, wk.sc, &wk.rng); err != nil {
 					return err
 				}
 			}

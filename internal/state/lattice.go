@@ -274,6 +274,28 @@ func (l *Lattice) ReadChain(c int, dst dist.Config) {
 	}
 }
 
+// CheckAssigned reports the first cell whose value is not an assigned
+// symbol of the q-ary domain — Unset or corrupted. It is the once-per-stage
+// preflight of the fused sweep kernels: a single O(n·B) scan here lets the
+// innermost loops drop their per-cell Valid checks and index tables and
+// rows with symbols that are known to be in range.
+func (l *Lattice) CheckAssigned() error {
+	if l.u8 != nil {
+		for i, x := range l.u8 {
+			if !Valid(x, l.q) {
+				return fmt.Errorf("state: cell (vertex %d, chain %d) is unset or out of range", i/l.chains, i%l.chains)
+			}
+		}
+		return nil
+	}
+	for i, x := range l.wide {
+		if !Valid(x, l.q) {
+			return fmt.Errorf("state: cell (vertex %d, chain %d) is unset or out of range", i/l.chains, i%l.chains)
+		}
+	}
+	return nil
+}
+
 // Clone returns an independent copy of the lattice.
 func (l *Lattice) Clone() *Lattice {
 	out := *l

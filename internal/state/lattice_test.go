@@ -2,6 +2,7 @@ package state
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
@@ -139,5 +140,42 @@ func TestCompactLimitHook(t *testing.T) {
 	l2, err := New(2, 1, 2)
 	if err != nil || !l2.Compact() {
 		t.Fatalf("restore failed: %v, %v", l2, err)
+	}
+}
+
+func TestCheckAssigned(t *testing.T) {
+	for _, compact := range []bool{true, false} {
+		limit := MaxCompactQ
+		if !compact {
+			limit = 0
+		}
+		restore := SetCompactLimitForTest(limit)
+		l, err := New(3, 2, 4)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Compact() != compact {
+			t.Fatalf("representation: compact=%v want %v", l.Compact(), compact)
+		}
+		if err := l.CheckAssigned(); err == nil {
+			t.Error("all-Unset lattice passed CheckAssigned")
+		}
+		for v := 0; v < 3; v++ {
+			for c := 0; c < 2; c++ {
+				l.Set(v, c, (v+c)%4)
+			}
+		}
+		if err := l.CheckAssigned(); err != nil {
+			t.Errorf("fully assigned lattice failed: %v", err)
+		}
+		l.Set(2, 1, dist.Unset)
+		err = l.CheckAssigned()
+		if err == nil {
+			t.Fatal("unset cell passed CheckAssigned")
+		}
+		if want := "vertex 2, chain 1"; !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
 	}
 }
