@@ -474,6 +474,80 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 }
 
+// batchRound times one round per iteration of a single- or multi-chain
+// engine and reports ns/chain-round — the amortized cost of advancing one
+// chain by one round, the number the batched engines exist to shrink.
+func batchRound(b *testing.B, s interface{ Run(int) error }, chains int) {
+	b.Helper()
+	// Warm up once so lazily built sweep plans, worker pools, and the
+	// lattice preflight land outside the timed region.
+	if err := s.Run(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*chains), "ns/chain-round")
+}
+
+// BenchmarkBatchLubySweep measures the batched multi-chain LubyGlauber
+// engine on the 576-vertex torus: one round (one Luby phase across all B
+// chains) per iteration, against the sequential single-chain engine
+// ("single"). ns/chain-round must drop as B grows — the per-vertex plan
+// walk, neighbor scan, and factor-table traffic of the masked subset
+// kernel are shared across the winning chains of a vertex.
+func BenchmarkBatchLubySweep(b *testing.B) {
+	_, rules := benchSamplerSetup(b)
+	b.Run("single", func(b *testing.B) {
+		s, err := psample.NewLubyGlauber(rules, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchRound(b, s, 1)
+	})
+	for _, B := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			s, err := psample.NewBatchLubyGlauber(rules, B, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchRound(b, s, B)
+		})
+	}
+}
+
+// BenchmarkBatchMetropolisSweep measures the batched multi-chain
+// LocalMetropolis engine on the same instance: one round (every free
+// vertex proposes in every chain) per iteration, against the sequential
+// single-chain engine ("single"). The batched filter amortizes each
+// acceptance factor's mixed-radix bases and table rows across a whole
+// chain block, and proposals/adoptions run over contiguous chain-major
+// rows.
+func BenchmarkBatchMetropolisSweep(b *testing.B) {
+	_, rules := benchSamplerSetup(b)
+	b.Run("single", func(b *testing.B) {
+		s, err := psample.NewLocalMetropolis(rules, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchRound(b, s, 1)
+	})
+	for _, B := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			s, err := psample.NewBatchLocalMetropolis(rules, B, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchRound(b, s, B)
+		})
+	}
+}
+
 // BenchmarkLubyGlauberLOCAL measures the message-passing harness (4 rounds
 // of LubyGlauber on a 12×12 torus through the LOCAL simulator) — the
 // simulator overhead the sharded engine removes.

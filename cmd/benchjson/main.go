@@ -25,12 +25,19 @@
 // With -fail P (requires -baseline), the same comparison becomes a gate
 // for the benchmarks named by -faillist: a comma-separated list of name
 // substrings selecting the low-variance benchmarks (by default the
-// GlauberStep, CondWeights and BatchSweep kernels, whose straight-line
-// inner loops are stable once the smoke run amortizes a few hundred
-// iterations). An allowlisted benchmark regressing by more than P
-// percent is marked FAIL and the tool exits nonzero after the full
-// report and delta table are written. Benchmarks outside the allowlist
-// keep the warn-only treatment.
+// GlauberStep, CondWeights, BatchSweep, BatchLuby and BatchMetropolis
+// kernels, whose straight-line inner loops are stable once the smoke run
+// amortizes a few hundred iterations). An allowlisted benchmark
+// regressing by more than P percent is marked FAIL and the tool exits
+// nonzero after the full report and delta table are written. Benchmarks
+// outside the allowlist keep the warn-only treatment.
+//
+// With -failallocs P (requires -baseline), the allowlisted benchmarks are
+// additionally gated on allocs/op: a regression above P percent — or any
+// growth at all from a zero-alloc baseline — is marked FAIL and fails the
+// run. Allocation counts are far more stable than wall time on a shared
+// runner, so this catches a hot loop that silently starts allocating even
+// when the ns/op noise would hide it.
 package main
 
 import (
@@ -78,8 +85,9 @@ func main() {
 	baseline := flag.String("baseline", "", "committed report to diff against (per-benchmark ns/op deltas on stderr)")
 	warn := flag.Float64("warn", 0, "flag ns/op regressions above this percentage vs the baseline (0 = off; never fails the run)")
 	failPct := flag.Float64("fail", 0, "exit nonzero when an allowlisted benchmark (see -faillist) regresses ns/op above this percentage vs the baseline (0 = off)")
-	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep",
-		"comma-separated benchmark-name substrings gated by -fail; others stay warn-only")
+	failAllocPct := flag.Float64("failallocs", 0, "exit nonzero when an allowlisted benchmark regresses allocs/op above this percentage vs the baseline (any growth from a zero-alloc baseline gates; 0 = off)")
+	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep,BatchLuby,BatchMetropolis",
+		"comma-separated benchmark-name substrings gated by -fail and -failallocs; others stay warn-only")
 	flag.Parse()
 	report, failed, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
@@ -101,7 +109,7 @@ func main() {
 			// PR that introduced it onward.
 			fmt.Fprintln(os.Stderr, "benchjson: no baseline diff:", err)
 		} else {
-			gated = printDelta(os.Stderr, base, report, *warn, *failPct, splitList(*faillist))
+			gated = printDelta(os.Stderr, base, report, *warn, *failPct, *failAllocPct, splitList(*faillist))
 		}
 	}
 	if failed {
@@ -146,8 +154,10 @@ func readReport(path string) (*Report, error) {
 // the exit code is unchanged). With failPct > 0, benchmarks whose name
 // contains any of the allow substrings are instead gated at that
 // threshold: they get a FAIL marker, a trailing FAIL summary, and are
-// returned so the caller can turn them into a nonzero exit.
-func printDelta(w io.Writer, base, cur *Report, warnPct, failPct float64, allow []string) []string {
+// returned so the caller can turn them into a nonzero exit. With
+// failAllocPct > 0 the allowlisted benchmarks are also gated on
+// allocs/op (any growth from a zero-alloc baseline gates).
+func printDelta(w io.Writer, base, cur *Report, warnPct, failPct, failAllocPct float64, allow []string) []string {
 	key := func(r Result) string { return r.Package + " " + r.Name }
 	baseBy := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
@@ -163,7 +173,7 @@ func printDelta(w io.Writer, base, cur *Report, warnPct, failPct float64, allow 
 	}
 	fmt.Fprintln(w, "benchjson: ns/op vs baseline (smoke run)")
 	seen := make(map[string]bool, len(cur.Benchmarks))
-	var regressed, gated []string
+	var regressed, gated, gatedAllocs []string
 	for _, r := range cur.Benchmarks {
 		k := key(r)
 		seen[k] = true
@@ -187,6 +197,20 @@ func printDelta(w io.Writer, base, cur *Report, warnPct, failPct float64, allow 
 			mark = "  REGRESSION"
 			regressed = append(regressed, r.Name)
 		}
+		if failAllocPct > 0 && allowed(r.Name) {
+			oldA, okA := b.Metrics["allocs/op"]
+			nowA, okN := r.Metrics["allocs/op"]
+			if okA && okN {
+				bad := oldA == 0 && nowA > 0
+				if oldA > 0 && 100*(nowA-oldA)/oldA > failAllocPct {
+					bad = true
+				}
+				if bad {
+					mark += fmt.Sprintf("  FAIL %.0f -> %.0f allocs/op", oldA, nowA)
+					gatedAllocs = append(gatedAllocs, r.Name)
+				}
+			}
+		}
 		fmt.Fprintf(w, "  %+7.1f%% %-60s %12.0f -> %.0f ns/op%s\n", pct, r.Name, old, now, mark)
 	}
 	for _, b := range base.Benchmarks {
@@ -202,7 +226,11 @@ func printDelta(w io.Writer, base, cur *Report, warnPct, failPct float64, allow 
 		fmt.Fprintf(w, "benchjson: FAIL: %d allowlisted benchmark(s) regressed > %.0f%% ns/op vs baseline: %s\n",
 			len(gated), failPct, strings.Join(gated, ", "))
 	}
-	return gated
+	if len(gatedAllocs) > 0 {
+		fmt.Fprintf(w, "benchjson: FAIL: %d allowlisted benchmark(s) regressed > %.0f%% allocs/op vs baseline: %s\n",
+			len(gatedAllocs), failAllocPct, strings.Join(gatedAllocs, ", "))
+	}
+	return append(gated, gatedAllocs...)
 }
 
 // parse consumes the event stream, echoing benchmark-relevant output lines

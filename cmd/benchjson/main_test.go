@@ -99,7 +99,7 @@ func TestPrintDelta(t *testing.T) {
 		{Package: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 25}},
 	}}
 	var out bytes.Buffer
-	printDelta(&out, base, cur, 0, 0, nil)
+	printDelta(&out, base, cur, 0, 0, 0, nil)
 	s := out.String()
 	for _, want := range []string{"+50.0%", "-50.0%", "new", "BenchmarkNew", "missing", "BenchmarkGone"} {
 		if !strings.Contains(s, want) {
@@ -129,7 +129,7 @@ func TestPrintDeltaWarn(t *testing.T) {
 		{Package: "p", Name: "BenchmarkFine", Metrics: map[string]float64{"ns/op": 90}},
 	}}
 	var out bytes.Buffer
-	gated := printDelta(&out, base, cur, 25, 0, nil)
+	gated := printDelta(&out, base, cur, 25, 0, 0, nil)
 	s := out.String()
 	if strings.Count(s, "REGRESSION") != 1 || !strings.Contains(s, "BenchmarkSlow") {
 		t.Errorf("expected exactly BenchmarkSlow flagged:\n%s", s)
@@ -160,7 +160,7 @@ func TestPrintDeltaFail(t *testing.T) {
 		{Package: "p", Name: "BenchmarkNoisy", Metrics: map[string]float64{"ns/op": 900}},          // not allowlisted: warn only
 	}}
 	var out bytes.Buffer
-	gated := printDelta(&out, base, cur, 25, 50, []string{"GlauberStep", "BatchSweep"})
+	gated := printDelta(&out, base, cur, 25, 50, 0, []string{"GlauberStep", "BatchSweep"})
 	s := out.String()
 	if len(gated) != 1 || gated[0] != "BenchmarkBatchSweep/B=32" {
 		t.Errorf("gated = %v, want exactly BenchmarkBatchSweep/B=32:\n%s", gated, s)
@@ -178,14 +178,66 @@ func TestPrintDeltaFail(t *testing.T) {
 	}
 	// With no allowlist the gate is inert even when -fail is set.
 	out.Reset()
-	if g := printDelta(&out, base, cur, 0, 50, nil); len(g) != 0 {
+	if g := printDelta(&out, base, cur, 0, 50, 0, nil); len(g) != 0 {
 		t.Errorf("empty allowlist gated %v", g)
 	}
 }
 
+// TestPrintDeltaFailAllocs pins the allocs/op gate: allowlisted
+// benchmarks whose allocation count grows beyond the threshold — or at
+// all from a zero-alloc baseline — are gated, independently of their
+// ns/op delta; non-allowlisted alloc growth and within-threshold growth
+// pass.
+func TestPrintDeltaFailAllocs(t *testing.T) {
+	base := &Report{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkGlauberStep", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		{Package: "p", Name: "BenchmarkBatchLubySweep/B=32", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 8}},
+		{Package: "p", Name: "BenchmarkBatchSweep/B=8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 8}},
+		{Package: "p", Name: "BenchmarkNoisy", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1}},
+	}}
+	cur := &Report{Benchmarks: []Result{
+		// Zero-alloc baseline growing at all: gated even though ns/op improved.
+		{Package: "p", Name: "BenchmarkGlauberStep", Metrics: map[string]float64{"ns/op": 90, "allocs/op": 2}},
+		// Above the 50% alloc threshold: gated.
+		{Package: "p", Name: "BenchmarkBatchLubySweep/B=32", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 13}},
+		// At the threshold exactly: not gated.
+		{Package: "p", Name: "BenchmarkBatchSweep/B=8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 12}},
+		// Not allowlisted: alloc growth ignored.
+		{Package: "p", Name: "BenchmarkNoisy", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 100}},
+	}}
+	var out bytes.Buffer
+	gated := printDelta(&out, base, cur, 0, 0, 50, []string{"GlauberStep", "BatchSweep", "BatchLuby"})
+	s := out.String()
+	if len(gated) != 2 {
+		t.Errorf("gated = %v, want the zero-alloc and >50%% growers:\n%s", gated, s)
+	}
+	for _, want := range []string{"BenchmarkGlauberStep", "BenchmarkBatchLubySweep/B=32"} {
+		found := false
+		for _, g := range gated {
+			if g == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s not gated: %v\n%s", want, gated, s)
+		}
+	}
+	if !strings.Contains(s, "0 -> 2 allocs/op") || !strings.Contains(s, "8 -> 13 allocs/op") {
+		t.Errorf("alloc markers missing:\n%s", s)
+	}
+	if !strings.Contains(s, "FAIL: 2 allowlisted benchmark(s) regressed > 50% allocs/op") {
+		t.Errorf("missing allocs fail summary:\n%s", s)
+	}
+	// With the gate off, nothing fires.
+	out.Reset()
+	if g := printDelta(&out, base, cur, 0, 0, 0, []string{"GlauberStep"}); len(g) != 0 {
+		t.Errorf("disabled allocs gate fired: %v", g)
+	}
+}
+
 func TestSplitList(t *testing.T) {
-	got := splitList(" GlauberStep, CondWeights ,,BatchSweep, ")
-	want := []string{"GlauberStep", "CondWeights", "BatchSweep"}
+	got := splitList(" GlauberStep, CondWeights ,,BatchSweep, BatchLuby,BatchMetropolis, ")
+	want := []string{"GlauberStep", "CondWeights", "BatchSweep", "BatchLuby", "BatchMetropolis"}
 	if len(got) != len(want) {
 		t.Fatalf("splitList = %v, want %v", got, want)
 	}

@@ -3,7 +3,8 @@
 // (Theorem 4.2), the approximate sequential sampler (Theorem 3.2), or any
 // dynamics from the internal/sampler registry (glauber, luby, metropolis,
 // chromatic) run on the sharded in-process engines. -chains runs the
-// batched multi-chain engine: B independent chromatic chains advanced in
+// dynamic's batched multi-chain engine: B independent chains of the
+// chromatic, LubyGlauber, or LocalMetropolis dynamics advanced in
 // lockstep over one shared compiled engine. -cpuprofile and -memprofile
 // write pprof profiles of the whole run, so the fused batch kernels can
 // be profiled under realistic schedules without a benchmark harness.
@@ -17,7 +18,8 @@
 //	lsample -model coloring -graph grid -n 10 -q 6 -algo metropolis
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
-//	lsample -model ising -graph torus -n 16 -algo chromatic -chains 16 -rhat
+//	lsample -model hardcore -graph torus -n 16 -algo luby -chains 32 -rounds 200
+//	lsample -model ising -graph torus -n 16 -algo metropolis -chains 16 -rhat
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 64 \
 //	    -sweeps 500 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -38,7 +40,6 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/graph"
 	"repro/internal/model"
-	"repro/internal/psample"
 	"repro/internal/sampler"
 	"repro/internal/state"
 )
@@ -132,8 +133,8 @@ func run(args []string, out *os.File) error {
 	fs.StringVar(&o.algo, "algo", "", "dynamics instead of -sampler: "+strings.Join(sampler.Names(), " | "))
 	fs.IntVar(&o.rounds, "rounds", 0, "rounds for -algo (0 = -sweeps sweep-equivalents)")
 	fs.IntVar(&o.sweeps, "sweeps", 64, "sweep-equivalents for -algo when -rounds is 0")
-	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched engine (-algo chromatic)")
-	fs.BoolVar(&o.rhat, "rhat", false, "report the worst-vertex cross-chain Gelman–Rubin R̂ (needs -algo chromatic and -chains ≥ 2)")
+	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched multi-chain engines (-algo "+strings.Join(sampler.MultiNames(), " | ")+")")
+	fs.BoolVar(&o.rhat, "rhat", false, "report the worst-vertex cross-chain Gelman–Rubin R̂ (needs a batched -algo and -chains ≥ 2)")
 	fs.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	fs.StringVar(&o.memprof, "memprofile", "", "write a GC-settled heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -167,10 +168,10 @@ func sample(out *os.File, o options) error {
 		return runAlgo(out, in, render, o)
 	}
 	if o.chains != 1 {
-		return fmt.Errorf("-chains %d needs -algo chromatic; the -sampler path draws one exact/approximate sample", o.chains)
+		return fmt.Errorf("-chains %d needs a batched -algo (%s); the -sampler path draws one exact/approximate sample", o.chains, strings.Join(sampler.MultiNames(), " | "))
 	}
 	if o.rhat {
-		return fmt.Errorf("-rhat needs -algo chromatic and -chains ≥ 2; the -sampler path draws one sample")
+		return fmt.Errorf("-rhat needs a batched -algo (%s) and -chains ≥ 2; the -sampler path draws one sample", strings.Join(sampler.MultiNames(), " | "))
 	}
 
 	oracle, err := buildOracle(g, mm, o)
@@ -236,43 +237,38 @@ func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, 
 	return nil
 }
 
-// runBatch runs B independent chains of the chromatic dynamics in
-// lockstep on the batched engine and renders the first chain (every chain
-// is an equally valid sample; the point of the batch is throughput per
-// chain, reported by BenchmarkBatchSweep). With -rhat the sweeps are run
-// one at a time, each folded into the cross-chain Gelman–Rubin
-// accumulator, and the worst-vertex R̂ is reported alongside the sample.
+// runBatch runs B independent chains of the chosen dynamics in lockstep
+// on its batched multi-chain engine (chromatic, luby, or metropolis — the
+// registry's NewMulti constructors) and renders the first chain (every
+// chain is an equally valid sample; the point of the batch is throughput
+// per chain, reported by the BenchmarkBatch* suite). With -rhat the
+// rounds are run one at a time, each folded into the cross-chain
+// Gelman–Rubin accumulator, and the worst-vertex R̂ is reported alongside
+// the sample.
 func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string, algo string, rounds int, o options) error {
-	if algo != "chromatic" {
-		return fmt.Errorf("-chains %d needs -algo chromatic (the batched engine runs the deterministic chromatic schedule); got -algo %s", o.chains, algo)
-	}
-	rules, err := psample.NewRules(in)
-	if err != nil {
-		return err
-	}
-	b, err := sampler.NewBatch(rules, o.chains, o.seed)
+	m, err := sampler.NewMulti(algo, in, o.chains, o.seed)
 	if err != nil {
 		return err
 	}
 	if !o.rhat {
-		if err := b.Run(rounds); err != nil {
+		if err := m.Run(rounds); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "rounds=%d chains=%d stages/sweep=%d\n", b.Rounds(), b.Chains(), len(b.Classes()))
-		fmt.Fprintln(out, render(b.Chain(0)))
+		fmt.Fprintf(out, "rounds=%d chains=%d%s%s\n", m.Rounds(), m.Chains(), batchStats(m), samplerStats(m))
+		fmt.Fprintln(out, render(m.Chain(0)))
 		return nil
 	}
-	acc, err := b.NewRhat()
+	acc, err := sampler.NewRhat(m)
 	if err != nil {
 		return fmt.Errorf("-rhat: %w", err)
 	}
 	for i := 0; i < rounds; i++ {
-		if err := b.Run(1); err != nil {
+		if err := m.Run(1); err != nil {
 			return err
 		}
 		acc.Observe()
 	}
-	fmt.Fprintf(out, "rounds=%d chains=%d stages/sweep=%d\n", b.Rounds(), b.Chains(), len(b.Classes()))
+	fmt.Fprintf(out, "rounds=%d chains=%d%s%s\n", m.Rounds(), m.Chains(), batchStats(m), samplerStats(m))
 	if acc.Count() >= 2 {
 		v, worst, err := acc.Worst()
 		if err != nil {
@@ -280,10 +276,19 @@ func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string,
 		}
 		fmt.Fprintf(out, "rhat=%.4f worst-vertex=%d observations=%d (R̂ ≈ 1 ⇔ chains converged)\n", worst, v, acc.Count())
 	} else {
-		fmt.Fprintf(out, "rhat: need ≥ 2 sweeps to estimate (have %d)\n", acc.Count())
+		fmt.Fprintf(out, "rhat: need ≥ 2 rounds to estimate (have %d)\n", acc.Count())
 	}
-	fmt.Fprintln(out, render(b.Chain(0)))
+	fmt.Fprintln(out, render(m.Chain(0)))
 	return nil
+}
+
+// batchStats surfaces the chromatic engine's schedule width when the
+// batched dynamic has one (the other batched engines are scheduleless).
+func batchStats(m sampler.MultiChain) string {
+	if b, ok := m.(interface{ Classes() [][]int }); ok {
+		return fmt.Sprintf(" stages/sweep=%d", len(b.Classes()))
+	}
+	return ""
 }
 
 // samplerStats surfaces the optional per-dynamic counters through the

@@ -74,10 +74,13 @@ func TestRunAlgos(t *testing.T) {
 		{"-model", "hardcore", "-graph", "path", "-n", "10", "-algo", "glauber", "-sweeps", "10"},
 		// -algo does not require the uniqueness regime: λ above λc is fine.
 		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-lambda", "50", "-algo", "luby"},
-		// The registry dynamics and the batched engine.
+		// The registry dynamics and the batched multi-chain engines.
 		{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-algo", "chromatic", "-sweeps", "20"},
 		{"-model", "ising", "-graph", "torus", "-n", "4", "-beta", "0.7", "-algo", "chromatic", "-chains", "8", "-sweeps", "10"},
 		{"-model", "coloring", "-graph", "grid", "-n", "3", "-q", "6", "-algo", "chromatic", "-chains", "3", "-rounds", "15"},
+		{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-algo", "luby", "-chains", "4", "-rounds", "30"},
+		{"-model", "ising", "-graph", "torus", "-n", "4", "-beta", "0.7", "-algo", "metropolis", "-chains", "8", "-rounds", "20"},
+		{"-model", "matching", "-graph", "path", "-n", "8", "-lambda", "1.5", "-algo", "luby", "-chains", "6", "-rounds", "25"},
 	}
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -92,9 +95,9 @@ func TestRunAlgos(t *testing.T) {
 	if err := run([]string{"-algo", "nosuch", "-n", "6"}, devnull); err == nil {
 		t.Error("bogus -algo accepted")
 	}
-	// The batched engine runs the chromatic schedule only.
-	if err := run([]string{"-algo", "luby", "-chains", "4", "-n", "6"}, devnull); err == nil {
-		t.Error("-chains with -algo luby accepted")
+	// The sequential baseline has no batched multi-chain form.
+	if err := run([]string{"-algo", "glauber", "-chains", "4", "-n", "6"}, devnull); err == nil {
+		t.Error("-chains with -algo glauber accepted")
 	}
 	// ... and -chains without -algo must be rejected, not silently ignored.
 	if err := run([]string{"-sampler", "jvv", "-chains", "4", "-n", "6"}, devnull); err == nil {
@@ -113,6 +116,9 @@ func TestRunRhat(t *testing.T) {
 	ok := [][]string{
 		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7", "-algo", "chromatic", "-chains", "4", "-sweeps", "8", "-rhat"},
 		{"-model", "hardcore", "-graph", "grid", "-n", "3", "-algo", "chromatic", "-chains", "2", "-rounds", "5", "-rhat"},
+		// R̂ generalizes to the batched LubyGlauber and LocalMetropolis engines.
+		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "luby", "-chains", "4", "-rounds", "8", "-rhat"},
+		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7", "-algo", "metropolis", "-chains", "4", "-rounds", "8", "-rhat"},
 	}
 	for _, args := range ok {
 		if err := run(args, devnull); err != nil {
@@ -122,8 +128,10 @@ func TestRunRhat(t *testing.T) {
 	bad := [][]string{
 		// R̂ needs ≥ 2 chains.
 		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7", "-algo", "chromatic", "-rhat"},
-		// ... and the batched chromatic engine.
-		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "luby", "-chains", "4", "-rhat"},
+		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "luby", "-rhat"},
+		// ... and a batched dynamic, not the exact/approximate samplers or
+		// the sequential baseline.
+		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "glauber", "-chains", "4", "-rhat"},
 		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-sampler", "jvv", "-rhat"},
 	}
 	for _, args := range bad {

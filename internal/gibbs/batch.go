@@ -24,11 +24,22 @@ import (
 type BatchScratch struct {
 	base   []int32
 	assign []int
+	// delta holds the per-toggled-vertex index-delta rows of
+	// FilterWeightBatch (k rows of c1−c0 entries each), grown on demand.
+	delta []int32
 }
 
 // NewBatchScratch returns scratch sized for chain groups of up to chains.
 func NewBatchScratch(chains int) *BatchScratch {
 	return &BatchScratch{base: make([]int32, chains)}
+}
+
+// deltaBuf returns the delta scratch grown to at least n entries.
+func (sc *BatchScratch) deltaBuf(n int) []int32 {
+	if len(sc.delta) < n {
+		sc.delta = make([]int32, n)
+	}
+	return sc.delta[:n]
 }
 
 // CondWeightsBatch fills buf with the unnormalized heat-bath conditional

@@ -117,6 +117,23 @@ func HeatBath(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float6
 	return nil
 }
 
+// HeatBathX is HeatBath drawing from a value-type dist.Xoshiro stream —
+// the variant the sharded psample engines run so their hot loops make no
+// *rand.Rand interface calls. Identical weights, identical walk: for equal
+// uniforms the two variants update to the same symbol.
+func HeatBathX(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float64, rng *dist.Xoshiro) error {
+	w, err := eng.CondWeightsLattice(l, chain, v, cond)
+	if err != nil {
+		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
+	}
+	x, err := dist.SampleWeightsX(w, rng)
+	if err != nil {
+		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
+	}
+	l.Set(v, chain, x)
+	return nil
+}
+
 // Step performs one heat-bath update at a uniformly random free vertex.
 func (c *Chain) Step(rng *rand.Rand) error {
 	if len(c.free) == 0 {

@@ -10,8 +10,6 @@ package psample
 // round, which is what gives the paper's O(Δ log n)-style round bounds.
 
 import (
-	"math/rand"
-
 	"repro/internal/dist"
 	"repro/internal/glauber"
 	"repro/internal/state"
@@ -35,9 +33,11 @@ type LubyGlauber struct {
 }
 
 // lgWorker is the per-worker mutable state (RNG stream and heat-bath
-// buffer); worker w exclusively owns vertex block w.
+// buffer); worker w exclusively owns vertex block w. The generator is a
+// value-type xoshiro256++ stream, so the hot loops draw uniforms without
+// interface calls.
 type lgWorker struct {
-	rng  *rand.Rand
+	rng  dist.Xoshiro
 	cond []float64
 }
 
@@ -81,7 +81,7 @@ func (s *LubyGlauber) ensureWorkers(w int) {
 	for len(s.workers) < w {
 		i := len(s.workers)
 		s.workers = append(s.workers, lgWorker{
-			rng:  dist.SeedStream(s.seed, int64(i)),
+			rng:  dist.NewXoshiro(s.seed, int64(i)),
 			cond: make([]float64, s.rules.q),
 		})
 	}
@@ -101,7 +101,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 	stages := []func(w, round int) error{
 		func(w, round int) error {
 			lo, hi := BlockOf(r.n, workers, w)
-			rng := s.workers[w].rng
+			rng := &s.workers[w].rng
 			for v := lo; v < hi; v++ {
 				if r.free[v] {
 					s.draws[v] = rng.Float64()
@@ -116,7 +116,7 @@ func (s *LubyGlauber) Run(rounds int) error {
 				if !r.free[v] || !r.winsPhase(v, s.draws, g.Neighbors(v)) {
 					continue
 				}
-				if err := glauber.HeatBath(r.eng, s.lat, 0, v, wk.cond, wk.rng); err != nil {
+				if err := glauber.HeatBathX(r.eng, s.lat, 0, v, wk.cond, &wk.rng); err != nil {
 					return err
 				}
 				updates[w]++

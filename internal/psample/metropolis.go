@@ -8,10 +8,13 @@ package psample
 // embarrassingly parallel — LocalMetropolis is the paper's "every vertex
 // every round" dynamics, trading per-round acceptance losses for maximal
 // parallelism.
+//
+// Pinned vertices never change, so their proposal cells are filled once
+// at Reset (the proposal lattice starts as a copy of the canonical start,
+// whose pinned cells are the pinned symbols) and stage 1 touches only
+// free vertices — no per-round re-copying of pinned state.
 
 import (
-	"math/rand"
-
 	"repro/internal/dist"
 	"repro/internal/state"
 )
@@ -30,7 +33,7 @@ type LocalMetropolis struct {
 	accOK   []bool
 	rounds  int
 	accepts int64
-	rngs    []*rand.Rand
+	rngs    []dist.Xoshiro
 	seed    int64
 }
 
@@ -41,13 +44,8 @@ func NewLocalMetropolis(r *Rules, seed int64) (*LocalMetropolis, error) {
 	if err := r.MetropolisReady(); err != nil {
 		return nil, err
 	}
-	prop, err := state.New(r.n, 1, r.q)
-	if err != nil {
-		return nil, err
-	}
 	s := &LocalMetropolis{
 		rules: r,
-		prop:  prop,
 		accOK: make([]bool, len(r.acc)),
 	}
 	if err := s.Reset(seed); err != nil {
@@ -57,12 +55,19 @@ func NewLocalMetropolis(r *Rules, seed int64) (*LocalMetropolis, error) {
 }
 
 // Reset restarts the sampler from the greedy start with fresh RNG streams.
+// The proposal lattice is refilled from the same start, which pre-fills
+// the pinned cells once: stage 1 only ever rewrites free cells.
 func (s *LocalMetropolis) Reset(seed int64) error {
 	lat, err := s.rules.ResetLattice(s.lat, 1)
 	if err != nil {
 		return err
 	}
 	s.lat = lat
+	prop, err := s.rules.ResetLattice(s.prop, 1)
+	if err != nil {
+		return err
+	}
+	s.prop = prop
 	s.seed = seed
 	s.rounds = 0
 	s.accepts = 0
@@ -83,7 +88,7 @@ func (s *LocalMetropolis) Accepts() int64 { return s.accepts }
 func (s *LocalMetropolis) ensureWorkers(w int) {
 	for len(s.rngs) < w {
 		i := len(s.rngs)
-		s.rngs = append(s.rngs, dist.SeedStream(s.seed, int64(i)))
+		s.rngs = append(s.rngs, dist.NewXoshiro(s.seed, int64(i)))
 	}
 }
 
@@ -100,19 +105,17 @@ func (s *LocalMetropolis) Run(rounds int) error {
 	stages := []func(w, round int) error{
 		func(w, round int) error {
 			lo, hi := BlockOf(r.n, workers, w)
-			rng := s.rngs[w]
+			rng := &s.rngs[w]
 			for v := lo; v < hi; v++ {
 				if r.free[v] {
-					s.prop.Set(v, 0, r.proposal[v].Sample(rng))
-				} else {
-					s.prop.Set(v, 0, s.lat.Get(v, 0))
+					s.prop.Set(v, 0, r.propCDF[v].Draw(rng))
 				}
 			}
 			return nil
 		},
 		func(w, round int) error {
 			lo, hi := BlockOf(len(r.acc), workers, w)
-			return r.FilterStage(s.lat, s.prop, 0, lo, hi, s.rngs[w], s.accOK)
+			return r.FilterStage(s.lat, s.prop, 0, lo, hi, &s.rngs[w], s.accOK)
 		},
 		func(w, round int) error {
 			lo, hi := BlockOf(r.n, workers, w)

@@ -22,7 +22,6 @@ package psample
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/construct"
 	"repro/internal/dist"
@@ -33,9 +32,10 @@ import (
 
 // networkFor validates that the network matches the rules' interaction
 // graph and returns the per-node RNGs (private randomness: one
-// SplitMix64-derived stream per node, shared with the sharded engines via
-// dist.SeedStream so no harness hand-rolls its own seed arithmetic).
-func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) {
+// SplitMix64-seeded xoshiro256++ stream per node, the same value-type
+// generator the sharded engines run, so no harness hand-rolls its own
+// seed arithmetic).
+func networkFor(net *local.Network, r *Rules, seed int64) ([]dist.Xoshiro, error) {
 	if net.G.N() != r.n {
 		return nil, fmt.Errorf("psample: network has %d nodes, instance has %d", net.G.N(), r.n)
 	}
@@ -43,9 +43,9 @@ func networkFor(net *local.Network, r *Rules, seed int64) ([]*rand.Rand, error) 
 		return nil, &state.DomainError{N: r.n, Chains: 1, Q: r.q,
 			Reason: fmt.Sprintf("the LOCAL harness transmits spins as bytes and needs q ≤ %d", state.MaxCompactQ)}
 	}
-	rngs := make([]*rand.Rand, r.n)
+	rngs := make([]dist.Xoshiro, r.n)
 	for v := range rngs {
-		rngs[v] = dist.SeedStream(seed, int64(v))
+		rngs[v] = dist.NewXoshiro(seed, int64(v))
 	}
 	return rngs, nil
 }
@@ -126,7 +126,7 @@ func LubyGlauberLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist.Con
 			}
 			if win {
 				st.cfg.Set(v, 0, int(st.val))
-				if err := glauber.HeatBath(r.eng, st.cfg, 0, v, st.cond, rngs[v]); err != nil {
+				if err := glauber.HeatBathX(r.eng, st.cfg, 0, v, st.cond, &rngs[v]); err != nil {
 					st.err = err
 					return st, nil, true
 				}
@@ -291,7 +291,7 @@ func LocalMetropolisLOCAL(net *local.Network, r *Rules, R int, seed int64) (dist
 		// Draw next round's proposal and owned coins, then broadcast. The
 		// coin slice must be fresh each round: the outgoing message aliases
 		// it and is only read by neighbors during the next round.
-		st.prop = uint8(r.Propose(v, rngs[v]))
+		st.prop = uint8(r.Propose(v, &rngs[v]))
 		st.coins = make([]lmCoin, 0, len(owned[v]))
 		for _, j := range owned[v] {
 			st.coins = append(st.coins, lmCoin{j: j, u: rngs[v].Float64()})

@@ -7,7 +7,6 @@ package psample
 // identically across worker counts.
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -366,8 +365,8 @@ func TestProposalMatchesConditional(t *testing.T) {
 			t.Fatalf("proposal %v != marginal %v", r.proposal[0], want)
 		}
 	}
-	rng := rand.New(rand.NewSource(1))
-	if x := r.Propose(0, rng); x < 0 || x >= r.Q() {
+	rng := dist.NewXoshiro(1, 0)
+	if x := r.Propose(0, &rng); x < 0 || x >= r.Q() {
 		t.Fatalf("proposal symbol %d out of range", x)
 	}
 }

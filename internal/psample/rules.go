@@ -7,7 +7,13 @@
 //     experimentally, and
 //   - a direct sharded in-process engine (a worker pool over vertex and
 //     factor blocks with no message overhead) for throughput comparisons
-//     against the sequential glauber.Chain baseline.
+//     against the sequential glauber.Chain baseline, and
+//   - a batched multi-chain engine per dynamics (BatchLubyGlauber,
+//     BatchLocalMetropolis) advancing B independent chains in lockstep
+//     over one chain-major state.Lattice through the masked fused kernels
+//     (gibbs.Compiled.SampleVertexSubset, FilterWeightBatch), with
+//     per-worker value-type RNG streams; at B = 1 with one worker each
+//     batched engine reproduces its single-chain trajectory bit for bit.
 //
 // LubyGlauber interleaves construction and sampling: each round one phase
 // of Luby's MIS algorithm (construct.Beats) picks an independent set of
@@ -32,7 +38,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
 	"repro/internal/construct"
@@ -57,10 +62,33 @@ type Rules struct {
 
 	// free[v] reports whether v is unpinned.
 	free []bool
+	// freeList is the free vertices in increasing order — the iteration
+	// domain of every engine stage that touches only unpinned vertices.
+	freeList []int
+	// freeAdj[v] is free vertex v's free neighbors (nil for pinned
+	// vertices) — the rivals of its Luby phase, precomputed so the batched
+	// phase check sweeps chain rows without re-testing pinning.
+	freeAdj [][]int32
+	// riv/rivBit is freeAdj padded to exactly four rivals per vertex for
+	// the batched engine's fused phase check: riv[4v+j] indexes the rival's
+	// row in the shifted-key draw matrix (n, the all-zero sentinel row, for
+	// padding), and rivBit[4v+j] is 1 when the rival outranks v in the
+	// vertex-order tiebreak (rival id > v). With phase keys stored as
+	// (draw53 << 1), the rival beats v exactly when key|bit > keyV — the
+	// full construct.Beats order in one branchless unsigned compare.
+	// Vertices with more than four free rivals (len(freeAdj[v]) > 4) are
+	// not covered and take the engine's generic row-sweep instead.
+	riv    []int32
+	rivBit []uint64
 	// proposal[v] is the normalized LocalMetropolis proposal distribution
 	// of free vertex v: the product of every factor that is unary in v
 	// under the pinning (nil for pinned vertices).
 	proposal []dist.Dist
+	// propCDF[v] is proposal[v] frozen into a cumulative row (zero value
+	// for pinned vertices): one compare per symbol per draw, bit-identical
+	// to proposal[v].Sample for the same uniform, shared by the sharded and
+	// batched Metropolis engines so their stage-1 draws agree exactly.
+	propCDF []dist.CDF
 	// acc lists the acceptance-filtered factors: factors with at least two
 	// distinct free scope vertices.
 	acc []accFactor
@@ -113,6 +141,34 @@ func NewRules(in *gibbs.Instance) (*Rules, error) {
 	r.free = make([]bool, r.n)
 	for v, x := range in.Pinned {
 		r.free[v] = x == dist.Unset
+		if r.free[v] {
+			r.freeList = append(r.freeList, v)
+		}
+	}
+	r.freeAdj = make([][]int32, r.n)
+	for _, v := range r.freeList {
+		for _, u := range s.G.Neighbors(v) {
+			if r.free[u] {
+				r.freeAdj[v] = append(r.freeAdj[v], int32(u))
+			}
+		}
+	}
+	r.riv = make([]int32, 4*r.n)
+	r.rivBit = make([]uint64, 4*r.n)
+	for i := range r.riv {
+		r.riv[i] = int32(r.n)
+	}
+	for _, v := range r.freeList {
+		adj := r.freeAdj[v]
+		if len(adj) > 4 {
+			continue
+		}
+		for j, u := range adj {
+			r.riv[4*v+j] = u
+			if int(u) > v {
+				r.rivBit[4*v+j] = 1
+			}
+		}
 	}
 	propW := make([][]float64, r.n)
 	var scratch []int
@@ -183,6 +239,7 @@ func NewRules(in *gibbs.Instance) (*Rules, error) {
 		}
 	}
 	r.proposal = make([]dist.Dist, r.n)
+	r.propCDF = make([]dist.CDF, r.n)
 	for v := 0; v < r.n; v++ {
 		if !r.free[v] {
 			continue
@@ -196,6 +253,7 @@ func NewRules(in *gibbs.Instance) (*Rules, error) {
 			return nil, fmt.Errorf("%w: vertex %d has no feasible proposal", ErrNoFeasibleStart, v)
 		}
 		r.proposal[v] = d
+		r.propCDF[v] = dist.NewCDF(d)
 	}
 	// CSR: acceptance factors toggling each vertex.
 	counts := make([]int32, r.n+1)
@@ -264,6 +322,14 @@ func (r *Rules) Q() int { return r.q }
 // Free reports whether v is unpinned.
 func (r *Rules) Free(v int) bool { return r.free[v] }
 
+// FreeList returns the free vertices in increasing order. The slice
+// aliases internal state and must not be modified.
+func (r *Rules) FreeList() []int { return r.freeList }
+
+// ProposalCDF returns free vertex v's frozen proposal cumulative row.
+// The returned pointer aliases internal state.
+func (r *Rules) ProposalCDF(v int) *dist.CDF { return &r.propCDF[v] }
+
 // Start returns a feasible initial configuration (the greedy completion of
 // the pinning), mirroring the sequential chain's start so that mixing
 // comparisons share an initial state.
@@ -320,12 +386,13 @@ func (r *Rules) ResetLattice(l *state.Lattice, chains int) (*state.Lattice, erro
 
 // Propose draws a LocalMetropolis proposal for vertex v: a fresh symbol
 // from the unary-weight distribution for free vertices, the pinned symbol
-// otherwise.
-func (r *Rules) Propose(v int, rng *rand.Rand) int {
+// otherwise. The draw goes through the frozen cumulative row, so it is
+// bit-identical to proposal[v].Sample for the same uniform.
+func (r *Rules) Propose(v int, rng *dist.Xoshiro) int {
 	if !r.free[v] {
 		return r.in.Pinned[v]
 	}
-	return r.proposal[v].Sample(rng)
+	return r.propCDF[v].Draw(rng)
 }
 
 // MetropolisReady reports whether the instance supports LocalMetropolis
@@ -369,7 +436,7 @@ func (r *Rules) FilterProbLattice(j int, old, prop *state.Lattice, chain int) (f
 // lo ≤ j < hi against chain `chain` of (old, prop), writing accOK[j] —
 // the sharded LocalMetropolis stage-2 hot path, with the lattice
 // representation dispatched once per stage instead of once per factor.
-func (r *Rules) FilterStage(old, prop *state.Lattice, chain, lo, hi int, rng *rand.Rand, accOK []bool) error {
+func (r *Rules) FilterStage(old, prop *state.Lattice, chain, lo, hi int, rng *dist.Xoshiro, accOK []bool) error {
 	if o8, p8 := old.Raw8(), prop.Raw8(); o8 != nil && p8 != nil {
 		return filterStage(r, o8, old.Chains(), p8, prop.Chains(), chain, lo, hi, rng, accOK)
 	}
@@ -380,7 +447,7 @@ func (r *Rules) FilterStage(old, prop *state.Lattice, chain, lo, hi int, rng *ra
 }
 
 // filterStage is the width-specialized FilterStage body.
-func filterStage[T state.Cells](r *Rules, old []T, oB int, prop []T, pB int, chain, lo, hi int, rng *rand.Rand, accOK []bool) error {
+func filterStage[T state.Cells](r *Rules, old []T, oB int, prop []T, pB int, chain, lo, hi int, rng *dist.Xoshiro, accOK []bool) error {
 	for j := lo; j < hi; j++ {
 		af := &r.acc[j]
 		w, err := gibbs.FilterWeightCells(r.eng, af.fi, old, oB, prop, pB, chain, af.verts)

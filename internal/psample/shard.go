@@ -32,6 +32,17 @@ func BlockOf(total, workers, w int) (lo, hi int) {
 	return total * w / workers, total * (w + 1) / workers
 }
 
+// ChainBlock picks the chain-group width of the batched multi-chain
+// engines: weight rows for a (vertex, chain group) item stay within a
+// few kB of scratch (512 floats) regardless of q, clamped to [16, 256]
+// so groups neither thrash the scratch nor degenerate to single chains.
+func ChainBlock(q int) int {
+	if q < 1 {
+		q = 1
+	}
+	return min(max(512/q, 16), 256)
+}
+
 // barrier is a reusable generation barrier for a fixed party count.
 type barrier struct {
 	mu      sync.Mutex

@@ -268,3 +268,81 @@ func TestLubyGlauberStationaryExact(t *testing.T) {
 		})
 	}
 }
+
+// checkBatchTiny drives a batched engine over a tiny instance and checks
+// that every chain stays feasible and pinned — this is what forces the
+// batched kernels (the masked subset heat-bath, the batched filter's
+// mask walk) through the arity-3 and pinning cases the enumerations cover.
+func checkBatchTiny(t *testing.T, in *gibbs.Instance, s interface {
+	Run(rounds int) error
+	Chains() int
+	Chain(c int) dist.Config
+}) {
+	t.Helper()
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < s.Chains(); c++ {
+		cfg := s.Chain(c)
+		w, err := in.Spec.Weight(cfg)
+		if err != nil || w <= 0 {
+			t.Errorf("chain %d infeasible state %v (w=%v err=%v)", c, cfg, w, err)
+		}
+		for v, x := range in.Pinned {
+			if x != dist.Unset && cfg[v] != x {
+				t.Errorf("chain %d pinning violated at vertex %d: %v", c, v, cfg)
+			}
+		}
+	}
+}
+
+// TestBatchLubyGlauberStationaryExact pins the batched LubyGlauber
+// engine's one-round kernel: chains of the batched engine do not interact
+// (disjoint lattice columns, disjoint draws), and the B = 1 agreement test
+// in batch_test.go ties its per-chain trajectory symbol for symbol to the
+// single-chain engine — so the enumerated single-chain kernel checked here
+// IS the batched engine's per-chain kernel, and µP = µ per chain implies
+// stationarity of the whole lattice product. The batched engine itself is
+// then driven over each tiny instance to exercise the masked subset kernel
+// on the arity-3 and pinned cases.
+func TestBatchLubyGlauberStationaryExact(t *testing.T) {
+	for name, in := range tinyInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			checkStationary(t, in, pushLubyRow)
+			r, err := NewRules(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewBatchLubyGlauber(r, 4, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBatchTiny(t, in, s)
+		})
+	}
+}
+
+// TestBatchLocalMetropolisStationaryExact is the LocalMetropolis analogue:
+// the enumerated proposal/coin kernel is the batched engine's per-chain
+// kernel (B = 1 agreement in batch_test.go, non-interacting chains), and
+// the engine run exercises the batched filter's mask walk on the genuine
+// arity-3 factor and the pinned instance.
+func TestBatchLocalMetropolisStationaryExact(t *testing.T) {
+	for name, in := range tinyInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			r, err := NewRules(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.MetropolisReady(); err != nil {
+				t.Fatal(err)
+			}
+			checkStationary(t, in, pushMetropolisRow)
+			s, err := NewBatchLocalMetropolis(r, 4, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBatchTiny(t, in, s)
+		})
+	}
+}

@@ -42,6 +42,13 @@ func init() {
 			// A vertex wins a phase with probability ≥ 1/(Δ+1).
 			return in.Spec.G.MaxDegree() + 1
 		},
+		NewBatch: func(in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
+			r, err := psample.NewRules(in)
+			if err != nil {
+				return nil, err
+			}
+			return psample.NewBatchLubyGlauber(r, chains, seed)
+		},
 	})
 	Register(Info{
 		Name:     "metropolis",
@@ -58,6 +65,13 @@ func init() {
 			return s, nil
 		},
 		SweepRounds: func(in *gibbs.Instance) int { return 1 },
+		NewBatch: func(in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
+			r, err := psample.NewRules(in)
+			if err != nil {
+				return nil, err
+			}
+			return psample.NewBatchLocalMetropolis(r, chains, seed)
+		},
 	})
 	Register(Info{
 		Name:     "chromatic",
@@ -74,6 +88,13 @@ func init() {
 			return s, nil
 		},
 		SweepRounds: func(in *gibbs.Instance) int { return 1 },
+		NewBatch: func(in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
+			r, err := psample.NewRules(in)
+			if err != nil {
+				return nil, err
+			}
+			return NewBatch(r, chains, seed)
+		},
 	})
 }
 

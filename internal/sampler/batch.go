@@ -43,15 +43,6 @@ import (
 	"repro/internal/state"
 )
 
-// batchChainBlock is the number of chains one work item advances: chains
-// are processed in groups of this size so the conditional-weight buffer
-// (block·q floats) stays L1-resident while still amortizing the per-vertex
-// plan walk across many chains — hence derived from q, clamped so tiny
-// alphabets still get wide blocks and huge ones still amortize.
-func batchChainBlock(q int) int {
-	return min(max(512/q, 16), 256)
-}
-
 // Batch advances B independent chains of ChromaticGlauber dynamics in
 // lockstep over one shared gibbs.Compiled engine.
 type Batch struct {
@@ -131,6 +122,10 @@ func (b *Batch) Chain(c int) dist.Config {
 	return b.lat.Chain(c)
 }
 
+// State returns a copy of chain 0's configuration (the single-chain view
+// of the Sampler interface).
+func (b *Batch) State() dist.Config { return b.lat.Chain(0) }
+
 // Lattice exposes the underlying state container (read-only for callers:
 // diagnostics such as the R̂ accumulator read it between runs).
 func (b *Batch) Lattice() *state.Lattice { return b.lat }
@@ -169,7 +164,10 @@ func (b *Batch) Run(sweeps int) error {
 		b.checked = true
 	}
 	B := b.chains
-	cb := min(B, batchChainBlock(b.rules.Q()))
+	// Chains are processed in groups of psample.ChainBlock(q) so the
+	// conditional-weight buffer stays L1-resident while still amortizing
+	// the per-vertex plan walk across many chains.
+	cb := min(B, psample.ChainBlock(b.rules.Q()))
 	groups := (B + cb - 1) / cb
 	maxItems := 0
 	for _, class := range b.classes {

@@ -1,0 +1,130 @@
+package sampler
+
+// multi_test.go validates the multi-chain side of the registry: NewMulti
+// constructs the batched form of every dynamic that has one, reports a
+// descriptive error (naming the dynamics that do) for the rest, and the
+// generalized R̂ accumulator works on the batched LubyGlauber and
+// LocalMetropolis engines exactly as it does on the chromatic Batch.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func multiTestInstance(t *testing.T) *gibbs.Instance {
+	t.Helper()
+	spec, err := model.Hardcore(graph.Cycle(8), 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestMultiNames(t *testing.T) {
+	want := []string{"chromatic", "luby", "metropolis"}
+	got := MultiNames()
+	if len(got) != len(want) {
+		t.Fatalf("MultiNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MultiNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNewMultiBuildsEveryBatchedDynamic constructs each batched dynamic
+// through the registry, runs it, and checks the MultiChain surface is
+// coherent: B chains, a lattice of matching shape, and State() equal to
+// chain 0.
+func TestNewMultiBuildsEveryBatchedDynamic(t *testing.T) {
+	in := multiTestInstance(t)
+	const chains = 4
+	for _, name := range MultiNames() {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewMulti(name, in, chains, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Chains() != chains {
+				t.Fatalf("Chains() = %d, want %d", m.Chains(), chains)
+			}
+			if err := m.Run(10); err != nil {
+				t.Fatal(err)
+			}
+			lat := m.Lattice()
+			if lat.N() != in.N() || lat.Chains() != chains {
+				t.Errorf("lattice shape %d×%d, want %d×%d", lat.N(), lat.Chains(), in.N(), chains)
+			}
+			st, c0 := m.State(), m.Chain(0)
+			for v := range st {
+				if st[v] != c0[v] {
+					t.Errorf("State() and Chain(0) disagree at vertex %d: %v vs %v", v, st, c0)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestNewMultiErrors pins the failure modes: an unknown dynamic, and a
+// dynamic without a batched form (the sequential baseline) whose error
+// names the dynamics that have one.
+func TestNewMultiErrors(t *testing.T) {
+	in := multiTestInstance(t)
+	if _, err := NewMulti("nosuch", in, 4, 1); err == nil {
+		t.Error("unknown dynamic accepted")
+	}
+	_, err := NewMulti("glauber", in, 4, 1)
+	if err == nil {
+		t.Fatal("sequential baseline accepted as a multi-chain dynamic")
+	}
+	for _, name := range MultiNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name batched dynamic %q", err, name)
+		}
+	}
+}
+
+// TestRhatOnBatchedEngines runs the generalized R̂ accumulator over the
+// batched LubyGlauber and LocalMetropolis engines: after a healthy burn-in
+// on a small well-mixing instance, every vertex must sit near 1.
+func TestRhatOnBatchedEngines(t *testing.T) {
+	in := multiTestInstance(t)
+	for _, name := range []string{"luby", "metropolis"} {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewMulti(name, in, 8, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRhat(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(50); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if err := m.Run(2); err != nil {
+					t.Fatal(err)
+				}
+				r.Observe()
+			}
+			v, worst, err := r.Worst()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if worst > 1.2 {
+				t.Errorf("R̂ = %v at vertex %d after burn-in on a well-mixing chain", worst, v)
+			}
+		})
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"math"
 )
 
-// Rhat accumulates per-(vertex, chain) running moments of the batch state
-// across observations (Welford updates, numerically stable over any number
-// of sweeps) and reports the Gelman–Rubin statistic per vertex.
+// Rhat accumulates per-(vertex, chain) running moments of a multi-chain
+// engine's state across observations (Welford updates, numerically stable
+// over any number of sweeps) and reports the Gelman–Rubin statistic per
+// vertex. It works with any MultiChain — the chromatic Batch and the
+// batched LubyGlauber and LocalMetropolis engines alike.
 type Rhat struct {
-	b     *Batch
+	m     MultiChain
 	n     int
 	count int
 	// mean and m2 are chain-major like the lattice: entry v*B+c carries
@@ -30,27 +32,32 @@ type Rhat struct {
 	m2   []float64
 }
 
-// NewRhat returns an empty accumulator for the batch. The diagnostic needs
-// at least two chains.
-func (b *Batch) NewRhat() (*Rhat, error) {
-	if b.Chains() < 2 {
-		return nil, fmt.Errorf("sampler: Gelman–Rubin needs ≥ 2 chains, batch has %d", b.Chains())
+// NewRhat returns an empty accumulator for the multi-chain engine. The
+// diagnostic needs at least two chains.
+func NewRhat(m MultiChain) (*Rhat, error) {
+	if m.Chains() < 2 {
+		return nil, fmt.Errorf("sampler: Gelman–Rubin needs ≥ 2 chains, engine has %d", m.Chains())
 	}
-	n := b.rules.N()
+	n := m.Lattice().N()
 	return &Rhat{
-		b:    b,
+		m:    m,
 		n:    n,
-		mean: make([]float64, n*b.Chains()),
-		m2:   make([]float64, n*b.Chains()),
+		mean: make([]float64, n*m.Chains()),
+		m2:   make([]float64, n*m.Chains()),
 	}, nil
 }
 
-// Observe folds the batch's current state into the running moments. Call
+// NewRhat returns an empty accumulator for the batch (the MultiChain
+// accumulator specialized to the chromatic engine, kept for callers that
+// hold a concrete *Batch).
+func (b *Batch) NewRhat() (*Rhat, error) { return NewRhat(b) }
+
+// Observe folds the engine's current state into the running moments. Call
 // it between Run chunks (e.g. once per sweep).
 func (r *Rhat) Observe() {
 	r.count++
-	B := r.b.Chains()
-	lat := r.b.Lattice()
+	B := r.m.Chains()
+	lat := r.m.Lattice()
 	for v := 0; v < r.n; v++ {
 		row := r.mean[v*B : (v+1)*B]
 		m2 := r.m2[v*B : (v+1)*B]
@@ -74,7 +81,7 @@ func (r *Rhat) At(v int) (float64, error) {
 	if r.count < 2 {
 		return 0, fmt.Errorf("sampler: Gelman–Rubin needs ≥ 2 observations, have %d", r.count)
 	}
-	B := r.b.Chains()
+	B := r.m.Chains()
 	T := float64(r.count)
 	means := r.mean[v*B : (v+1)*B]
 	m2 := r.m2[v*B : (v+1)*B]

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/gibbs"
+	"repro/internal/state"
 )
 
 // Sampler is the common control surface of every dynamic. All four
@@ -48,6 +49,24 @@ type Sampler interface {
 	Rounds() int
 }
 
+// MultiChain is a Sampler advancing B independent chains in lockstep over
+// one chain-major state lattice — the control surface of every batched
+// engine (the chromatic Batch and the batched LubyGlauber and
+// LocalMetropolis engines of internal/psample). State() is chain 0's
+// configuration, so a MultiChain at B = 1 drops into any single-chain
+// consumer; diagnostics that want all chains (the R̂ accumulator) read
+// Chains/Chain/Lattice.
+type MultiChain interface {
+	Sampler
+	// Chains returns B, the number of independent chains.
+	Chains() int
+	// Chain returns a copy of chain c's current configuration.
+	Chain(c int) dist.Config
+	// Lattice exposes the chain-major state container (read-only for
+	// callers).
+	Lattice() *state.Lattice
+}
+
 // Info is one registry entry: a named dynamic plus the per-dynamic
 // knowledge its consumers need.
 type Info struct {
@@ -61,6 +80,9 @@ type Info struct {
 	// SweepRounds returns how many rounds of this dynamic make one
 	// sweep-equivalent (≈ one expected update per free vertex).
 	SweepRounds func(in *gibbs.Instance) int
+	// NewBatch constructs the batched multi-chain form of the dynamic
+	// (nil for dynamics without one, e.g. the sequential baseline).
+	NewBatch func(in *gibbs.Instance, chains int, seed int64) (MultiChain, error)
 }
 
 var (
@@ -110,6 +132,35 @@ func New(name string, in *gibbs.Instance, seed int64) (Sampler, error) {
 		return nil, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
 	}
 	return info.New(in, seed)
+}
+
+// NewMulti constructs the named dynamic's batched multi-chain form with
+// the given number of chains. Dynamics without a batched form report a
+// descriptive error naming the ones that have it.
+func NewMulti(name string, in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
+	}
+	if info.NewBatch == nil {
+		return nil, fmt.Errorf("sampler: dynamic %q has no batched multi-chain form (have %v)", name, MultiNames())
+	}
+	return info.NewBatch(in, chains, seed)
+}
+
+// MultiNames returns the registered dynamics with a batched multi-chain
+// form, sorted.
+func MultiNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name, info := range registry {
+		if info.NewBatch != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SweepRounds returns the rounds-per-sweep-equivalent of the named dynamic
