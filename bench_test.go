@@ -414,7 +414,7 @@ func BenchmarkSamplerSweep(b *testing.B) {
 	in, _ := benchSamplerSetup(b)
 	for _, name := range sampler.Names() {
 		b.Run(name, func(b *testing.B) {
-			s, err := sampler.New(name, in, 11)
+			s, err := sampler.Create(name, in, sampler.Options{Seed: 11})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -36,8 +36,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("linfer", flag.ContinueOnError)
 	modelName := fs.String("model", "hardcore", "model: hardcore | ising")
-	graphName := fs.String("graph", "cycle", "graph: cycle | path | grid | tree")
-	n := fs.Int("n", 16, "graph size parameter")
+	graphName := fs.String("graph", "cycle", "graph: "+strings.Join(graph.GeneratorNames(), " | "))
+	n := fs.Int("n", 16, "graph size parameter (vertices, or side for grid/torus)")
 	lambda := fs.Float64("lambda", 1.0, "fugacity")
 	beta := fs.Float64("beta", 0.6, "Ising edge activity")
 	delta := fs.Float64("delta", 0.01, "total variation accuracy")
@@ -46,18 +46,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var g *graph.Graph
-	switch strings.ToLower(*graphName) {
-	case "cycle":
-		g = graph.Cycle(*n)
-	case "path":
-		g = graph.Path(*n)
-	case "grid":
-		g = graph.Grid(*n, *n)
-	case "tree":
-		g = graph.CompleteTree(2, *n)
-	default:
-		return fmt.Errorf("unknown graph %q", *graphName)
+	g, err := graph.Build(*graphName, *n)
+	if err != nil {
+		return err
 	}
 	pinned := dist.NewConfig(g.N())
 	if *pinFlag != "" {
@@ -82,9 +73,8 @@ func run(args []string) error {
 	}
 
 	var (
-		in  *gibbs.Instance
-		o   core.Oracle
-		err error
+		in *gibbs.Instance
+		o  core.Oracle
 	)
 	switch strings.ToLower(*modelName) {
 	case "hardcore":

@@ -1,24 +1,28 @@
-// Command lsample draws a sample from a Gibbs model on a generated graph
-// using the distributed samplers of the paper: the exact local-JVV sampler
-// (Theorem 4.2), the approximate sequential sampler (Theorem 3.2), or any
-// dynamics from the internal/sampler registry (glauber, luby, metropolis,
-// chromatic) run on the sharded in-process engines. -chains runs the
-// dynamic's batched multi-chain engine: B independent chains of the
-// chromatic, LubyGlauber, or LocalMetropolis dynamics advanced in
-// lockstep over one shared compiled engine. -cpuprofile and -memprofile
-// write pprof profiles of the whole run, so the fused batch kernels can
-// be profiled under realistic schedules without a benchmark harness.
+// Command lsample draws a sample from a Gibbs model using the distributed
+// samplers of the paper: the exact local-JVV sampler (Theorem 4.2), the
+// approximate sequential sampler (Theorem 3.2), or any dynamics from the
+// internal/sampler registry (glauber, luby, metropolis, chromatic) run on
+// the sharded in-process engines. -chains runs the dynamic's batched
+// multi-chain engine: B independent chains advanced in lockstep over one
+// shared compiled engine. -cpuprofile and -memprofile write pprof profiles
+// of the whole run.
+//
+// Instances are declarative: -spec loads a schema document (see
+// internal/spec and testdata/corpus/), and the legacy -model/-graph/-n
+// flags synthesize the equivalent document — both are compiled by the same
+// loader, so a spec file and the flags that describe the same instance
+// produce bit-identical sample streams for the same seed.
 //
 // Usage:
 //
 //	lsample -model hardcore -graph cycle -n 24 -lambda 1.0 -sampler jvv
+//	lsample -spec testdata/corpus/hardcore-tree15-below.json -algo glauber
 //	lsample -model coloring -graph tree -n 40 -q 5
 //	lsample -model matching -graph grid -n 16 -lambda 2
 //	lsample -model hardcore -graph torus -n 16 -algo luby -rounds 200
 //	lsample -model coloring -graph grid -n 10 -q 6 -algo metropolis
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
-//	lsample -model hardcore -graph torus -n 16 -algo luby -chains 32 -rounds 200
 //	lsample -model ising -graph torus -n 16 -algo metropolis -chains 16 -rhat
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 64 \
 //	    -sweeps 500 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -41,6 +45,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/sampler"
+	"repro/internal/spec"
 	"repro/internal/state"
 )
 
@@ -55,28 +60,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lsample: check -q, -chains, and the model parameters")
 			os.Exit(1)
 		}
+		// Schema defects carry their document path; point at the field.
+		var se *spec.Error
+		if errors.As(err, &se) {
+			fmt.Fprintln(os.Stderr, "lsample: invalid instance spec:", err)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "lsample:", err)
 		os.Exit(1)
 	}
 }
 
 type options struct {
-	model   string
-	graph   string
-	n       int
-	lambda  float64
-	q       int
-	beta    float64
-	seed    int64
-	sampler string
-	delta   float64
-	algo    string
-	rounds  int
-	sweeps  int
-	chains  int
-	rhat    bool
-	cpuprof string
-	memprof string
+	specPath string
+	model    string
+	graph    string
+	n        int
+	lambda   float64
+	q        int
+	beta     float64
+	seed     int64
+	sampler  string
+	delta    float64
+	algo     string
+	rounds   int
+	sweeps   int
+	chains   int
+	rhat     bool
+	cpuprof  string
+	memprof  string
 }
 
 // startProfiles wires the optional pprof outputs around the run: CPU
@@ -118,11 +130,18 @@ func startProfiles(o options) (stop func() error, err error) {
 	}, nil
 }
 
+// legacyInstanceFlags are the flags that describe an instance; they
+// conflict with -spec, which is the complete description.
+var legacyInstanceFlags = map[string]bool{
+	"model": true, "graph": true, "n": true, "lambda": true, "q": true, "beta": true,
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lsample", flag.ContinueOnError)
 	var o options
+	fs.StringVar(&o.specPath, "spec", "", "declarative instance spec file (JSON; overrides -model/-graph/-n/-lambda/-q/-beta)")
 	fs.StringVar(&o.model, "model", "hardcore", "model: hardcore | ising | coloring | matching")
-	fs.StringVar(&o.graph, "graph", "cycle", "graph: cycle | path | grid | tree | torus")
+	fs.StringVar(&o.graph, "graph", "cycle", "graph: "+strings.Join(graph.GeneratorNames(), " | "))
 	fs.IntVar(&o.n, "n", 24, "graph size parameter (vertices, or side for grid/torus)")
 	fs.Float64Var(&o.lambda, "lambda", 1.0, "fugacity / activity")
 	fs.IntVar(&o.q, "q", 5, "colors (coloring model)")
@@ -140,6 +159,20 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if o.chains == 0 {
+		return fmt.Errorf("-chains 0 names no engine: 1 is the single-chain engine, B ≥ 2 the batched one")
+	}
+	if o.specPath != "" {
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if legacyInstanceFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-spec conflicts with %s: the spec file is the complete instance description", strings.Join(conflict, " "))
+		}
+	}
 	stop, err := startProfiles(o)
 	if err != nil {
 		return err
@@ -151,21 +184,65 @@ func run(args []string, out *os.File) error {
 	return err
 }
 
+// instanceSpec returns the declarative instance description: the -spec
+// file when given, otherwise the document the legacy flags synthesize.
+// Either way the instance is compiled by the same loader — the single
+// construction codepath.
+func instanceSpec(o options) (*spec.File, error) {
+	if o.specPath != "" {
+		data, err := os.ReadFile(o.specPath)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Parse(data)
+	}
+	return legacySpec(o)
+}
+
+// legacySpec synthesizes the schema document described by the legacy
+// -model/-graph/-n/-lambda/-q/-beta flags.
+func legacySpec(o options) (*spec.File, error) {
+	g := spec.Graph{Kind: strings.ToLower(o.graph), N: o.n}
+	m := spec.Model{Kind: strings.ToLower(o.model)}
+	switch m.Kind {
+	case "hardcore", "matching":
+		m.Lambda = o.lambda
+	case "ising":
+		m.Beta = o.beta
+		m.Lambda = o.lambda
+	case "coloring":
+		m.Q = o.q
+	default:
+		return nil, fmt.Errorf("unknown model %q", o.model)
+	}
+	f := &spec.File{
+		Version: spec.Version,
+		Name:    fmt.Sprintf("%s-%s-%d", m.Kind, g.Kind, o.n),
+		Graph:   g,
+		Model:   &m,
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // sample is the profiled section of run: everything from model
 // construction through the sampling itself.
 func sample(out *os.File, o options) error {
-	g, err := buildGraph(o.graph, o.n)
+	f, err := instanceSpec(o)
 	if err != nil {
 		return err
 	}
-	in, render, mm, err := buildInstance(g, o)
+	b, err := f.Build()
 	if err != nil {
 		return err
 	}
+	in, render := b.Instance, renderFor(b)
 	rng := rand.New(rand.NewSource(o.seed))
 
 	if o.algo != "" {
-		return runAlgo(out, in, render, o)
+		return runAlgo(out, b, render, o)
 	}
 	if o.chains != 1 {
 		return fmt.Errorf("-chains %d needs a batched -algo (%s); the -sampler path draws one exact/approximate sample", o.chains, strings.Join(sampler.MultiNames(), " | "))
@@ -174,11 +251,12 @@ func sample(out *os.File, o options) error {
 		return fmt.Errorf("-rhat needs a batched -algo (%s) and -chains ≥ 2; the -sampler path draws one sample", strings.Join(sampler.MultiNames(), " | "))
 	}
 
-	oracle, err := buildOracle(g, mm, o)
+	oracle, err := buildOracle(b, o)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d sampler=%s\n", o.model, o.graph, g.N(), g.MaxDegree(), o.sampler)
+	g := b.Input
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d sampler=%s\n", b.ModelKind(), b.GraphKind(), g.N(), g.MaxDegree(), o.sampler)
 	switch o.sampler {
 	case "jvv":
 		res, rounds, err := core.JVVLOCAL(in, oracle, core.JVVConfig{}, rng)
@@ -207,13 +285,14 @@ func sample(out *os.File, o options) error {
 // degree-based heuristics use the instance's interaction graph, which
 // differs from the input graph for the matching model (a vertex model on
 // the line graph).
-func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, o options) error {
+func runAlgo(out *os.File, b *spec.Built, render func(dist.Config) string, o options) error {
+	in := b.Instance
 	algo := strings.ToLower(o.algo)
 	if _, ok := sampler.Lookup(algo); !ok {
 		return fmt.Errorf("unknown algo %q (have %s)", o.algo, strings.Join(sampler.Names(), " | "))
 	}
 	delta := in.Spec.G.MaxDegree()
-	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", o.model, o.graph, in.N(), delta, algo)
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", b.ModelKind(), b.GraphKind(), in.N(), delta, algo)
 	sweep, err := sampler.SweepRounds(algo, in)
 	if err != nil {
 		return err
@@ -225,7 +304,7 @@ func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, 
 	if o.chains != 1 || o.rhat {
 		return runBatch(out, in, render, algo, rounds, o)
 	}
-	s, err := sampler.New(algo, in, o.seed)
+	s, err := sampler.Create(algo, in, sampler.Options{Seed: o.seed})
 	if err != nil {
 		return err
 	}
@@ -238,17 +317,20 @@ func runAlgo(out *os.File, in *gibbs.Instance, render func(dist.Config) string, 
 }
 
 // runBatch runs B independent chains of the chosen dynamics in lockstep
-// on its batched multi-chain engine (chromatic, luby, or metropolis — the
-// registry's NewMulti constructors) and renders the first chain (every
+// on its batched multi-chain engine and renders the first chain (every
 // chain is an equally valid sample; the point of the batch is throughput
 // per chain, reported by the BenchmarkBatch* suite). With -rhat the
 // rounds are run one at a time, each folded into the cross-chain
 // Gelman–Rubin accumulator, and the worst-vertex R̂ is reported alongside
 // the sample.
 func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string, algo string, rounds int, o options) error {
-	m, err := sampler.NewMulti(algo, in, o.chains, o.seed)
+	s, err := sampler.Create(algo, in, sampler.Options{Chains: o.chains, Seed: o.seed})
 	if err != nil {
 		return err
+	}
+	m, ok := s.(sampler.MultiChain)
+	if !ok {
+		return fmt.Errorf("dynamic %q built no multi-chain engine for -chains %d", algo, o.chains)
 	}
 	if !o.rhat {
 		if err := m.Run(rounds); err != nil {
@@ -304,136 +386,115 @@ func samplerStats(s sampler.Sampler) string {
 	return b.String()
 }
 
-func buildGraph(kind string, n int) (*graph.Graph, error) {
-	switch strings.ToLower(kind) {
-	case "cycle":
-		return graph.Cycle(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "grid":
-		return graph.Grid(n, n), nil
-	case "torus":
-		return graph.Torus(n, n), nil
-	case "tree":
-		// Complete binary tree with ~n vertices.
-		depth := 1
-		for (1<<(depth+2))-1 <= n {
-			depth++
-		}
-		return graph.CompleteTree(2, depth), nil
-	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
-	}
-}
-
-// buildInstance returns the model instance and a renderer for sampled
-// configurations; for the matching model it also returns the constructed
-// MatchingModel so the oracle is derived from the same object. Regime
-// checks that only concern the decay-oracle samplers live in buildOracle.
-func buildInstance(g *graph.Graph, o options) (*gibbs.Instance, func(dist.Config) string, *model.MatchingModel, error) {
-	switch strings.ToLower(o.model) {
-	case "hardcore":
-		spec, err := model.Hardcore(g, o.lambda)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		in, err := gibbs.NewInstance(spec, nil)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return in, renderBinary("occupied"), nil, nil
-	case "ising":
-		p := model.TwoSpinParams{Beta: o.beta, Gamma: o.beta, Lambda: o.lambda}
-		spec, err := model.TwoSpin(g, p)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		in, err := gibbs.NewInstance(spec, nil)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return in, renderBinary("spin-up"), nil, nil
-	case "coloring":
-		spec, err := model.Coloring(g, o.q)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		in, err := gibbs.NewInstance(spec, nil)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return in, renderColors, nil, nil
-	case "matching":
-		m, err := model.Matching(g, o.lambda)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		in, err := gibbs.NewInstance(m.Spec, nil)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		render := func(c dist.Config) string {
-			var b strings.Builder
-			b.WriteString("matched edges:")
+// renderFor picks the configuration renderer from the built instance:
+// model-specific views for the named models, a generic value listing for
+// explicit-factor documents.
+func renderFor(b *spec.Built) func(dist.Config) string {
+	switch {
+	case b.Matching != nil:
+		mm := b.Matching
+		return func(c dist.Config) string {
+			var sb strings.Builder
+			sb.WriteString("matched edges:")
 			for i, x := range c {
 				if x == model.In {
-					e := m.EdgeList[i]
-					fmt.Fprintf(&b, " (%d,%d)", e.U, e.V)
+					e := mm.EdgeList[i]
+					fmt.Fprintf(&sb, " (%d,%d)", e.U, e.V)
 				}
 			}
-			return b.String()
+			return sb.String()
 		}
-		return in, render, m, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown model %q", o.model)
+	case b.HyperMatching != nil:
+		hm := b.HyperMatching
+		return func(c dist.Config) string {
+			var sb strings.Builder
+			sb.WriteString("matched hyperedges:")
+			for i, x := range c {
+				if x == model.In {
+					fmt.Fprintf(&sb, " %v", hm.Base.Edge(i))
+				}
+			}
+			return sb.String()
+		}
+	}
+	switch b.ModelKind() {
+	case "hardcore":
+		return renderBinary("occupied")
+	case "ising", "twospin":
+		return renderBinary("spin-up")
+	case "coloring", "listcoloring":
+		return renderColors("colors")
+	default: // explicit-factors documents
+		return renderColors("values")
 	}
 }
 
 // buildOracle returns the inference oracle the jvv/seq samplers need,
-// enforcing the uniqueness-regime preconditions of their analyses. mm is
-// the matching model built by buildInstance (nil for other models).
-func buildOracle(g *graph.Graph, mm *model.MatchingModel, o options) (*core.DecayOracle, error) {
-	switch strings.ToLower(o.model) {
+// enforcing the uniqueness-regime preconditions of their analyses. The
+// oracles are model-specific, so explicit-factor documents are restricted
+// to the -algo dynamics.
+func buildOracle(b *spec.Built, o options) (*core.DecayOracle, error) {
+	m := b.File.Model
+	if m == nil {
+		return nil, fmt.Errorf("the jvv/seq samplers need a named model (their decay oracles are model-specific); explicit-factor specs run with -algo %s", strings.Join(sampler.Names(), " | "))
+	}
+	g := b.Input
+	switch m.Kind {
 	case "hardcore":
-		est, err := decay.NewHardcoreSAW(g, o.lambda)
+		est, err := decay.NewHardcoreSAW(g, m.Lambda)
 		if err != nil {
 			return nil, err
 		}
-		rate := model.HardcoreDecayRate(o.lambda, g.MaxDegree())
+		rate := model.HardcoreDecayRate(m.Lambda, g.MaxDegree())
 		if rate >= 1 {
-			return nil, fmt.Errorf("λ=%g is not in the uniqueness regime for Δ=%d (λc=%g): no SSM oracle available — the paper's Ω(diam) lower bound applies", o.lambda, g.MaxDegree(), model.LambdaC(g.MaxDegree()))
+			return nil, fmt.Errorf("λ=%g is not in the uniqueness regime for Δ=%d (λc=%g): no SSM oracle available — the paper's Ω(diam) lower bound applies", m.Lambda, g.MaxDegree(), model.LambdaC(g.MaxDegree()))
 		}
 		return &core.DecayOracle{Est: est, Rate: rate, N: g.N()}, nil
-	case "ising":
-		p := model.TwoSpinParams{Beta: o.beta, Gamma: o.beta, Lambda: o.lambda}
+	case "ising", "twospin":
+		p := model.TwoSpinParams{Beta: m.Beta, Gamma: m.Gamma, Lambda: m.Lambda}
+		if m.Kind == "ising" {
+			p.Gamma = m.Beta
+		}
 		est, err := decay.NewTwoSpinSAW(g, p)
 		if err != nil {
 			return nil, err
 		}
-		lo, hi := model.IsingUniquenessInterval(g.MaxDegree())
-		if o.beta <= lo || o.beta >= hi {
-			return nil, fmt.Errorf("b=%g outside the uniqueness interval (%g, %g) for Δ=%d", o.beta, lo, hi, g.MaxDegree())
+		if p.Beta == p.Gamma {
+			lo, hi := model.IsingUniquenessInterval(g.MaxDegree())
+			if p.Beta <= lo || p.Beta >= hi {
+				return nil, fmt.Errorf("b=%g outside the uniqueness interval (%g, %g) for Δ=%d", p.Beta, lo, hi, g.MaxDegree())
+			}
 		}
 		// Conservative rate from the distance to the interval boundary.
 		return &core.DecayOracle{Est: est, Rate: 0.9, N: g.N()}, nil
-	case "coloring":
-		est, err := decay.NewColoringEstimator(g, o.q, nil)
+	case "coloring", "listcoloring":
+		est, err := decay.NewColoringEstimator(g, m.Q, m.Lists)
 		if err != nil {
 			return nil, err
 		}
-		if float64(o.q) < model.AlphaStar()*float64(g.MaxDegree()) {
-			fmt.Fprintf(os.Stderr, "lsample: warning: q=%d below α*Δ=%.2f — the GKM guarantee does not apply\n", o.q, model.AlphaStar()*float64(g.MaxDegree()))
+		if float64(m.Q) < model.AlphaStar()*float64(g.MaxDegree()) {
+			fmt.Fprintf(os.Stderr, "lsample: warning: q=%d below α*Δ=%.2f — the GKM guarantee does not apply\n", m.Q, model.AlphaStar()*float64(g.MaxDegree()))
 		}
 		return &core.DecayOracle{Est: est, Rate: 0.8, N: g.N()}, nil
 	case "matching":
-		if mm == nil {
+		if b.Matching == nil {
 			return nil, fmt.Errorf("matching model not constructed")
 		}
-		est := decay.NewMatchingEstimator(mm)
-		rate := model.MatchingDecayRate(o.lambda, g.MaxDegree())
-		return &core.DecayOracle{Est: est, Rate: rate, N: mm.Spec.N()}, nil
+		est := decay.NewMatchingEstimator(b.Matching)
+		rate := model.MatchingDecayRate(m.Lambda, g.MaxDegree())
+		return &core.DecayOracle{Est: est, Rate: rate, N: b.Matching.Spec.N()}, nil
+	case "hypermatching":
+		if b.HyperMatching == nil {
+			return nil, fmt.Errorf("hypergraph matching model not constructed")
+		}
+		est, err := decay.NewHypergraphMatchingEstimator(b.HyperMatching)
+		if err != nil {
+			return nil, err
+		}
+		rate := model.MatchingDecayRate(m.Lambda, b.Hyper.MaxVertexDegree())
+		return &core.DecayOracle{Est: est, Rate: rate, N: b.HyperMatching.Spec.N()}, nil
 	default:
-		return nil, fmt.Errorf("unknown model %q", o.model)
+		return nil, fmt.Errorf("model %q has no decay oracle; run it with -algo %s", m.Kind, strings.Join(sampler.Names(), " | "))
 	}
 }
 
@@ -450,13 +511,15 @@ func renderBinary(label string) func(dist.Config) string {
 	}
 }
 
-func renderColors(c dist.Config) string {
-	var b strings.Builder
-	b.WriteString("colors:")
-	for v, x := range c {
-		fmt.Fprintf(&b, " %d:%d", v, x)
+func renderColors(label string) func(dist.Config) string {
+	return func(c dist.Config) string {
+		var b strings.Builder
+		b.WriteString(label + ":")
+		for v, x := range c {
+			fmt.Fprintf(&b, " %d:%d", v, x)
+		}
+		return b.String()
 	}
-	return b.String()
 }
 
 func countTrue(bs []bool) int {

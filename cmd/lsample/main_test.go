@@ -2,9 +2,12 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/spec"
 	"repro/internal/state"
 )
 
@@ -52,15 +55,119 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestBuildGraphKinds(t *testing.T) {
-	for _, kind := range []string{"cycle", "path", "grid", "torus", "tree"} {
-		g, err := buildGraph(kind, 5)
-		if err != nil || g.N() == 0 {
-			t.Errorf("buildGraph(%q): %v", kind, err)
-		}
+// TestSpecFlagEquivalence is the contract of the redesigned construction
+// path: the legacy -model/-graph/-n flags synthesize a spec document, and
+// running that document through -spec must reproduce the legacy run's
+// output stream byte for byte (same instance, same seed, same dynamics).
+func TestSpecFlagEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy []string // instance-describing flags
+		rest   []string // sampler/seed flags shared by both runs
+	}{
+		{"hardcore-glauber", []string{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-lambda", "1.3"},
+			[]string{"-algo", "glauber", "-sweeps", "8", "-seed", "7"}},
+		{"ising-metropolis", []string{"-model", "ising", "-graph", "torus", "-n", "4", "-beta", "0.7"},
+			[]string{"-algo", "metropolis", "-rounds", "20", "-seed", "3"}},
+		{"coloring-chromatic-batch", []string{"-model", "coloring", "-graph", "grid", "-n", "3", "-q", "6"},
+			[]string{"-algo", "chromatic", "-chains", "4", "-sweeps", "6", "-seed", "11"}},
+		{"matching-jvv", []string{"-model", "matching", "-graph", "path", "-n", "8", "-lambda", "1.5"},
+			[]string{"-sampler", "jvv", "-seed", "5"}},
 	}
-	if _, err := buildGraph("bogus", 5); err == nil {
-		t.Error("bogus graph kind accepted")
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Synthesize the document exactly as the legacy path does and
+			// write it out.
+			fs := flag.NewFlagSet("capture", flag.ContinueOnError)
+			var o options
+			fs.StringVar(&o.model, "model", "hardcore", "")
+			fs.StringVar(&o.graph, "graph", "cycle", "")
+			fs.IntVar(&o.n, "n", 24, "")
+			fs.Float64Var(&o.lambda, "lambda", 1.0, "")
+			fs.IntVar(&o.q, "q", 5, "")
+			fs.Float64Var(&o.beta, "beta", 0.6, "")
+			if err := fs.Parse(tc.legacy); err != nil {
+				t.Fatal(err)
+			}
+			f, err := legacySpec(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := f.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			specPath := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(specPath, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			capture := func(args []string) string {
+				out, err := os.CreateTemp(dir, "out")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer out.Close()
+				if err := run(args, out); err != nil {
+					t.Fatalf("run(%v) = %v", args, err)
+				}
+				got, err := os.ReadFile(out.Name())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(got)
+			}
+			legacy := capture(append(append([]string{}, tc.legacy...), tc.rest...))
+			viaSpec := capture(append([]string{"-spec", specPath}, tc.rest...))
+			if legacy != viaSpec {
+				t.Errorf("legacy flags and -spec diverge:\nlegacy:\n%s\nspec:\n%s", legacy, viaSpec)
+			}
+		})
+	}
+}
+
+// TestSpecFlagConflicts pins the -spec flag's guardrails: instance flags
+// alongside -spec are an error, as are unreadable and invalid documents.
+func TestSpecFlagConflicts(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	f := &spec.File{
+		Version: spec.Version,
+		Graph:   spec.Graph{Kind: "cycle", N: 10},
+		Model:   &spec.Model{Kind: "hardcore", Lambda: 1},
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", good, "-algo", "glauber", "-sweeps", "2"}, devnull); err != nil {
+		t.Errorf("valid -spec run failed: %v", err)
+	}
+	if err := run([]string{"-spec", good, "-model", "ising"}, devnull); err == nil {
+		t.Error("-spec with -model accepted")
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, devnull); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var se *spec.Error
+	if err := run([]string{"-spec", bad}, devnull); !errors.As(err, &se) {
+		t.Errorf("invalid spec returned %v, want *spec.Error", err)
+	}
+	if err := run([]string{"-chains", "0", "-algo", "chromatic", "-n", "8"}, devnull); err == nil {
+		t.Error("-chains 0 accepted")
 	}
 }
 

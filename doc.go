@@ -9,10 +9,14 @@
 // exact sampler, and the strong-spatial-mixing characterization). The
 // performance substrate — the compact state lattice, the compiled
 // factor-table engine with its fused sweep-plan batch kernel, and the
-// batched multi-chain sampler it drives — is documented in README.md. The
-// runnable entry points are the commands under cmd/ and the examples under
-// examples/; the experiment suite that reproduces every claim of the paper
-// is internal/experiment, benchmarked from bench_test.go in this directory.
+// batched multi-chain sampler it drives — is documented in README.md.
+// Instances are declared through the versioned JSON schema of
+// internal/spec (loader, encoder, and the curated corpus under
+// testdata/corpus/), which every entry point compiles through one
+// codepath. The runnable entry points are the commands under cmd/ and the
+// examples under examples/; the experiment suite that reproduces every
+// claim of the paper is internal/experiment, benchmarked from
+// bench_test.go in this directory.
 //
 // See README.md, DESIGN.md and EXPERIMENTS.md for the complete map.
 package repro

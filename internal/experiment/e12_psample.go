@@ -29,7 +29,10 @@ var e12Dynamics = []string{"glauber", "luby", "metropolis", "chromatic"}
 // paper's point being that the parallel dynamics reach it in
 // O(Δ log n) / O(log n) rounds while Glauber needs Θ(n log n) updates.
 func E12RoundsToMix(n int, lambda float64, budgets []int, trials int, seed int64) (*Table, error) {
-	g := graph.Cycle(n)
+	g, err := graph.Build("cycle", n)
+	if err != nil {
+		return nil, err
+	}
 	spec, err := model.Hardcore(g, lambda)
 	if err != nil {
 		return nil, err
@@ -45,7 +48,7 @@ func E12RoundsToMix(n int, lambda float64, budgets []int, trials int, seed int64
 	samplers := make(map[string]sampler.Sampler, len(e12Dynamics))
 	sweeps := make(map[string]int, len(e12Dynamics))
 	for _, name := range e12Dynamics {
-		s, err := sampler.New(name, in, seed)
+		s, err := sampler.Create(name, in, sampler.Options{Seed: seed})
 		if err != nil {
 			return nil, fmt.Errorf("E12: %s: %w", name, err)
 		}

@@ -1,0 +1,107 @@
+package graph
+
+// registry.go is the named graph generator registry. Historically every
+// command (cmd/lsample, cmd/linfer) carried its own private switch from a
+// -graph flag value to a constructor call, and the switches had drifted
+// apart (linfer's "tree" read n as a depth, lsample's as a vertex count).
+// The registry is now the single authority: commands, experiments, and the
+// declarative instance loader (internal/spec) all resolve a graph kind by
+// name through Build, and registering a generator here makes it available
+// to every entry point at once — the same move internal/sampler made for
+// dynamics.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Generator is one registry entry: a named graph family constructed from a
+// single size parameter n. How n is interpreted is part of the generator's
+// contract (vertices for the linear kinds, the side for grid/torus, an
+// approximate vertex count for tree) and is stated in the Synopsis.
+type Generator struct {
+	// Name is the registry key (also the -graph flag value and the
+	// spec-file "kind").
+	Name string
+	// Synopsis is a one-line description including the meaning of n.
+	Synopsis string
+	// New constructs the graph for size parameter n.
+	New func(n int) (*Graph, error)
+}
+
+var (
+	genMu       sync.RWMutex
+	genRegistry = map[string]Generator{}
+)
+
+// RegisterGenerator adds a generator to the registry. It panics on an
+// empty name, a duplicate, or a nil constructor — registration is an
+// init-time programming act, not a runtime input.
+func RegisterGenerator(gen Generator) {
+	if gen.Name == "" || gen.New == nil {
+		panic("graph: RegisterGenerator needs a name and a constructor")
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	if _, dup := genRegistry[gen.Name]; dup {
+		panic(fmt.Sprintf("graph: generator %q registered twice", gen.Name))
+	}
+	genRegistry[gen.Name] = gen
+}
+
+// LookupGenerator returns the registry entry for kind (case-insensitive).
+func LookupGenerator(kind string) (Generator, bool) {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	gen, ok := genRegistry[strings.ToLower(kind)]
+	return gen, ok
+}
+
+// Build constructs the named graph family at size parameter n. Kind is
+// matched case-insensitively; unknown kinds and negative sizes are errors
+// naming the registered alternatives.
+func Build(kind string, n int) (*Graph, error) {
+	gen, ok := LookupGenerator(kind)
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown kind %q (have %s)", kind, strings.Join(GeneratorNames(), " | "))
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: kind %q needs a nonnegative size, got %d", kind, n)
+	}
+	return gen.New(n)
+}
+
+// GeneratorNames returns the registered kinds, sorted.
+func GeneratorNames() []string {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	out := make([]string, 0, len(genRegistry))
+	for name := range genRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The built-in families. The n semantics reproduce cmd/lsample's historical
+// switch exactly, so spec files and legacy flags describe the same graphs.
+func init() {
+	ok := func(f func(int) *Graph) func(int) (*Graph, error) {
+		return func(n int) (*Graph, error) { return f(n), nil }
+	}
+	RegisterGenerator(Generator{Name: "cycle", Synopsis: "cycle C_n on n vertices", New: ok(Cycle)})
+	RegisterGenerator(Generator{Name: "path", Synopsis: "path P_n on n vertices", New: ok(Path)})
+	RegisterGenerator(Generator{Name: "complete", Synopsis: "complete graph K_n", New: ok(Complete)})
+	RegisterGenerator(Generator{Name: "star", Synopsis: "star K_{1,n-1} with center 0", New: ok(Star)})
+	RegisterGenerator(Generator{Name: "grid", Synopsis: "n×n grid (n is the side)", New: ok(func(n int) *Graph { return Grid(n, n) })})
+	RegisterGenerator(Generator{Name: "torus", Synopsis: "n×n torus (n is the side)", New: ok(func(n int) *Graph { return Torus(n, n) })})
+	RegisterGenerator(Generator{Name: "tree", Synopsis: "complete binary tree with ≈ n vertices", New: ok(func(n int) *Graph {
+		depth := 1
+		for (1<<(depth+2))-1 <= n {
+			depth++
+		}
+		return CompleteTree(2, depth)
+	})})
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildKindsMatchDirectConstructors pins the registry to the direct
+// constructors: the registry exists so every entry point describes the
+// same graph for the same (kind, n), including the historical n semantics
+// of grid/torus (side) and tree (approximate vertex count).
+func TestBuildKindsMatchDirectConstructors(t *testing.T) {
+	n := 6
+	want := map[string]*Graph{
+		"cycle":    Cycle(n),
+		"path":     Path(n),
+		"complete": Complete(n),
+		"star":     Star(n),
+		"grid":     Grid(n, n),
+		"torus":    Torus(n, n),
+	}
+	// The tree expectation follows the registry's documented rule: the
+	// deepest complete binary tree with at most n vertices.
+	depth := 1
+	for (1<<(depth+2))-1 <= n {
+		depth++
+	}
+	want["tree"] = CompleteTree(2, depth)
+	for kind, w := range want {
+		g, err := Build(kind, n)
+		if err != nil {
+			t.Fatalf("Build(%q, %d): %v", kind, n, err)
+		}
+		if !g.Equal(w) {
+			t.Errorf("Build(%q, %d) differs from the direct constructor", kind, n)
+		}
+	}
+}
+
+func TestBuildIsCaseInsensitive(t *testing.T) {
+	g, err := Build("Cycle", 5)
+	if err != nil || g.N() != 5 {
+		t.Fatalf("Build(Cycle, 5) = %v, %v", g, err)
+	}
+}
+
+func TestBuildRejectsUnknownAndNegative(t *testing.T) {
+	if _, err := Build("nosuch", 5); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("unknown kind: err = %v, want the registered alternatives named", err)
+	}
+	if _, err := Build("cycle", -1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestGeneratorNamesSortedAndComplete(t *testing.T) {
+	names := GeneratorNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("GeneratorNames not sorted: %v", names)
+		}
+	}
+	for _, kind := range []string{"cycle", "path", "grid", "torus", "tree", "complete", "star"} {
+		if _, ok := LookupGenerator(kind); !ok {
+			t.Errorf("builtin %q not registered", kind)
+		}
+	}
+}
+
+func TestRegisterGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, gen Generator) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterGenerator did not panic", name)
+			}
+		}()
+		RegisterGenerator(gen)
+	}
+	mustPanic("empty", Generator{})
+	mustPanic("duplicate", Generator{Name: "cycle", New: func(n int) (*Graph, error) { return New(n), nil }})
+}

@@ -125,18 +125,50 @@ func Names() []string {
 	return out
 }
 
-// New constructs the named dynamic on the instance.
-func New(name string, in *gibbs.Instance, seed int64) (Sampler, error) {
+// Options configures Create, the registry's single creation path.
+type Options struct {
+	// Chains selects the engine: 0 is the dynamic's single-chain engine;
+	// B ≥ 1 is its batched multi-chain engine advancing B independent
+	// chains in lockstep (an error for dynamics without one). A batched
+	// result implements MultiChain.
+	Chains int
+	// Seed derives every RNG stream of the dynamic.
+	Seed int64
+}
+
+// Create constructs the named dynamic on the instance. It is the one
+// creation path consumers (cmd/lsample, the experiments, the sampling
+// service) call; the historical New/NewMulti pair are thin wrappers kept
+// for compatibility.
+func Create(name string, in *gibbs.Instance, o Options) (Sampler, error) {
 	info, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
 	}
-	return info.New(in, seed)
+	if o.Chains == 0 {
+		return info.New(in, o.Seed)
+	}
+	if info.NewBatch == nil {
+		return nil, fmt.Errorf("sampler: dynamic %q has no batched multi-chain form (have %v)", name, MultiNames())
+	}
+	return info.NewBatch(in, o.Chains, o.Seed)
+}
+
+// New constructs the named dynamic's single-chain engine.
+//
+// Deprecated: use Create with a zero Options.Chains.
+func New(name string, in *gibbs.Instance, seed int64) (Sampler, error) {
+	return Create(name, in, Options{Seed: seed})
 }
 
 // NewMulti constructs the named dynamic's batched multi-chain form with
 // the given number of chains. Dynamics without a batched form report a
 // descriptive error naming the ones that have it.
+//
+// Deprecated: use Create with a nonzero Options.Chains and assert
+// MultiChain. (Unlike Create, NewMulti hands chains = 0 to the batched
+// constructor so its validation rejects it — Create's 0 means
+// single-chain.)
 func NewMulti(name string, in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
 	info, ok := Lookup(name)
 	if !ok {

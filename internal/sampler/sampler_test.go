@@ -54,6 +54,70 @@ func TestNewUnknownDynamic(t *testing.T) {
 	}
 }
 
+// TestCreateSelectsEngine pins Create's Options contract: Chains = 0 is
+// the single-chain engine, Chains ≥ 1 the batched multi-chain engine
+// (which must implement MultiChain), a batched request on a dynamic
+// without one is a descriptive error, and the deprecated New/NewMulti
+// wrappers agree with Create.
+func TestCreateSelectsEngine(t *testing.T) {
+	spec, err := model.Hardcore(graph.Cycle(6), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create("nosuch", in, Options{}); err == nil {
+		t.Error("unknown dynamic accepted")
+	}
+	for _, name := range Names() {
+		single, err := Create(name, in, Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("Create(%q, Chains: 0) = %v", name, err)
+		}
+		if err := single.Run(3); err != nil {
+			t.Fatalf("%q single-chain Run: %v", name, err)
+		}
+	}
+	for _, name := range MultiNames() {
+		s, err := Create(name, in, Options{Chains: 4, Seed: 5})
+		if err != nil {
+			t.Fatalf("Create(%q, Chains: 4) = %v", name, err)
+		}
+		m, ok := s.(MultiChain)
+		if !ok {
+			t.Fatalf("batched Create(%q) does not implement MultiChain", name)
+		}
+		if m.Chains() != 4 {
+			t.Errorf("Create(%q).Chains() = %d, want 4", name, m.Chains())
+		}
+		// The two creation paths must build equivalent engines: same
+		// chain-0 trajectory for the same seed.
+		legacy, err := NewMulti(name, in, 4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Chain(0), legacy.Chain(0)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Errorf("Create and NewMulti diverge for %q at vertex %d", name, v)
+				break
+			}
+		}
+	}
+	// Dynamics without a batched form: a descriptive error, not a panic.
+	if _, err := Create("glauber", in, Options{Chains: 4}); err == nil {
+		t.Error("Create(glauber, Chains: 4) accepted")
+	}
+}
+
 func TestSweepRoundsPerDynamic(t *testing.T) {
 	spec, err := model.Hardcore(graph.Cycle(8), 1)
 	if err != nil {

@@ -1,0 +1,259 @@
+package spec
+
+// build.go compiles a validated document into a gibbs.Instance. Build is
+// the single construction codepath behind every entry point: the factor
+// list it hands to gibbs.NewSpec preserves the document's order (declared
+// factors first, then domain factors in declaration order), so the weight
+// products — and therefore the exact partition function — are bit-for-bit
+// reproducible across loads.
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/gibbs"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Built is the compiled form of a document: the instance plus the
+// intermediate objects consumers need (the declared input graph for
+// reporting, the matching-model wrappers for rendering and oracles).
+type Built struct {
+	// File is the document this was built from.
+	File *File
+	// Instance is the compiled sampling/counting instance.
+	Instance *gibbs.Instance
+	// Input is the declared graph. For the matching and hypermatching
+	// models the instance itself lives on a derived graph (line graph,
+	// intersection graph) — Instance.Spec.G — while Input (or Hyper) is
+	// what the document declared.
+	Input *graph.Graph
+	// Hyper is the declared hypergraph (hypermatching only).
+	Hyper *graph.Hypergraph
+	// Matching is the matching-model wrapper (matching only).
+	Matching *model.MatchingModel
+	// HyperMatching is the hypergraph-matching wrapper (hypermatching
+	// only).
+	HyperMatching *model.HypergraphMatchingModel
+}
+
+// ModelKind returns the document's model kind, or "wcsp" for the
+// explicit-factors form.
+func (b *Built) ModelKind() string {
+	if b.File.Model != nil {
+		return b.File.Model.Kind
+	}
+	return "wcsp"
+}
+
+// GraphKind returns the declared graph's kind: the generator name, or
+// "explicit"/"hypergraph" for explicit lists.
+func (b *Built) GraphKind() string {
+	switch {
+	case b.File.Graph.Kind != "":
+		return b.File.Graph.Kind
+	case b.Hyper != nil:
+		return "hypergraph"
+	default:
+		return "explicit"
+	}
+}
+
+// Build validates the document and compiles it into an instance. All
+// errors — including model-builder rejections such as a non-positive
+// fugacity — come back as *Error locating the offending field.
+func (f *File) Build() (*Built, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Built{File: f}
+
+	// The declared graph.
+	switch {
+	case len(f.Graph.Hyperedges) > 0:
+		h := graph.NewHypergraph(f.Graph.N)
+		for i, e := range f.Graph.Hyperedges {
+			if err := h.AddEdge(e...); err != nil {
+				return nil, errf(fmt.Sprintf("graph.hyperedges[%d]", i), "%v", err)
+			}
+		}
+		b.Hyper = h
+	case f.Graph.Kind != "":
+		g, err := graph.Build(f.Graph.Kind, f.Graph.N)
+		if err != nil {
+			return nil, errf("graph.kind", "%v", err)
+		}
+		b.Input = g
+	default:
+		g := graph.New(f.Graph.N)
+		for i, e := range f.Graph.Edges {
+			if err := g.AddEdge(e[0], e[1]); err != nil {
+				return nil, errf(fmt.Sprintf("graph.edges[%d]", i), "%v", err)
+			}
+		}
+		g.SortAdjacency()
+		b.Input = g
+	}
+
+	// The Gibbs specification: a named model or explicit factors.
+	var spec *gibbs.Spec
+	if f.Model != nil {
+		if err := f.Model.boundCost(b); err != nil {
+			return nil, err
+		}
+		s, err := f.Model.build(b)
+		if err != nil {
+			return nil, err
+		}
+		spec = s
+	} else {
+		factors := make([]gibbs.Factor, len(f.Factors))
+		for i, fc := range f.Factors {
+			factors[i] = gibbs.Factor{Scope: fc.Scope, Table: fc.Table, Name: fc.Name}
+		}
+		s, err := gibbs.NewSpec(b.Input, f.Q, factors)
+		if err != nil {
+			return nil, errf("factors", "%v", err)
+		}
+		spec = s
+	}
+
+	// Vertex domains compile to 0/1 unary factors appended after the
+	// declared factors, in declaration order.
+	if len(f.Domains) > 0 {
+		factors := append([]gibbs.Factor(nil), spec.Factors...)
+		for i, d := range f.Domains {
+			path := fmt.Sprintf("domains[%d]", i)
+			if d.V >= spec.N() {
+				return nil, errf(path+".v", "vertex %d outside the instance's %d vertices", d.V, spec.N())
+			}
+			allowed := make([]float64, spec.Q)
+			for _, x := range d.Allow {
+				if x >= spec.Q {
+					return nil, errf(path+".allow", "symbol %d outside alphabet q=%d", x, spec.Q)
+				}
+				allowed[x] = 1
+			}
+			factors = append(factors, gibbs.UnaryTable(d.V, allowed, "domain"))
+		}
+		s, err := gibbs.NewSpec(spec.G, spec.Q, factors)
+		if err != nil {
+			return nil, errf("domains", "%v", err)
+		}
+		spec = s
+	}
+
+	pinned := dist.NewConfig(spec.N())
+	for i, p := range f.Pin {
+		path := fmt.Sprintf("pin[%d]", i)
+		if p.V >= spec.N() {
+			return nil, errf(path+".v", "vertex %d outside the instance's %d vertices", p.V, spec.N())
+		}
+		if p.X >= spec.Q {
+			return nil, errf(path+".x", "symbol %d outside alphabet q=%d", p.X, spec.Q)
+		}
+		pinned[p.V] = p.X
+	}
+	in, err := gibbs.NewInstance(spec, pinned)
+	if err != nil {
+		return nil, errf("pin", "%v", err)
+	}
+	b.Instance = in
+	return b, nil
+}
+
+// MaxBuildWeights caps the total weight-table entries a named model may
+// expand to. The schema's per-field caps bound what the document itself
+// can allocate, but a model expansion multiplies fields — a large
+// generator times a large palette (coloring emits a q² table per edge),
+// or a hypergraph whose intersection graph is quadratic in the hyperedge
+// count — so the loader bounds the product before expanding. Untrusted
+// input must not be able to buy gigabytes with a hundred bytes of JSON.
+const MaxBuildWeights = 1 << 24
+
+// boundCost rejects model expansions whose factor tables would exceed
+// MaxBuildWeights entries, using only degree arithmetic on the declared
+// graph (no expansion-sized allocation happens before the check).
+func (m *Model) boundCost(b *Built) error {
+	q := 2 // hardcore, ising, twospin, matching, hypermatching
+	switch m.Kind {
+	case "coloring", "listcoloring":
+		q = m.Q
+	}
+	var cost int
+	switch {
+	case m.Kind == "hypermatching" && b.Hyper != nil:
+		// The instance lives on the intersection graph: one vertex per
+		// hyperedge, and Σ_v C(deg v, 2) bounds its edge count.
+		h := b.Hyper
+		cost = h.M()
+		for v := 0; v < h.N(); v++ {
+			d := h.VertexDegree(v)
+			cost += d * (d - 1) / 2 * q * q
+			if cost > MaxBuildWeights {
+				break
+			}
+		}
+	case m.Kind == "matching" && b.Input != nil:
+		// Line graph: one vertex per edge, Σ_v C(deg v, 2) edges.
+		g := b.Input
+		cost = g.M()
+		for v := 0; v < g.N(); v++ {
+			d := g.Degree(v)
+			cost += d * (d - 1) / 2 * q * q
+			if cost > MaxBuildWeights {
+				break
+			}
+		}
+	case b.Input != nil:
+		cost = b.Input.N()*q + b.Input.M()*q*q
+	}
+	if cost > MaxBuildWeights {
+		return errf("model", "model %q on this graph would expand to more than %d weight-table entries", m.Kind, MaxBuildWeights)
+	}
+	return nil
+}
+
+// build expands a named model on the built graph. Vertex-count-dependent
+// checks (lists length) surface here as *Error.
+func (m *Model) build(b *Built) (*gibbs.Spec, error) {
+	wrap := func(s *gibbs.Spec, err error) (*gibbs.Spec, error) {
+		if err != nil {
+			return nil, errf("model", "%v", err)
+		}
+		return s, nil
+	}
+	switch m.Kind {
+	case "hardcore":
+		return wrap(model.Hardcore(b.Input, m.Lambda))
+	case "ising":
+		return wrap(model.Ising(b.Input, m.Beta, m.Lambda))
+	case "twospin":
+		return wrap(model.TwoSpin(b.Input, model.TwoSpinParams{Beta: m.Beta, Gamma: m.Gamma, Lambda: m.Lambda}))
+	case "coloring":
+		return wrap(model.Coloring(b.Input, m.Q))
+	case "listcoloring":
+		return wrap(model.ListColoring(b.Input, m.Q, m.Lists))
+	case "matching":
+		mm, err := model.Matching(b.Input, m.Lambda)
+		if err != nil {
+			return nil, errf("model", "%v", err)
+		}
+		b.Matching = mm
+		return mm.Spec, nil
+	case "hypermatching":
+		if b.Hyper == nil {
+			return nil, errf("graph", "the hypermatching model needs an explicit hyperedge list")
+		}
+		hm, err := model.HypergraphMatching(b.Hyper, m.Lambda)
+		if err != nil {
+			return nil, errf("model", "%v", err)
+		}
+		b.HyperMatching = hm
+		return hm.Spec, nil
+	default:
+		// Unreachable after Validate; kept as a typed error for defense.
+		return nil, errf("model.kind", "unknown model %q", m.Kind)
+	}
+}

@@ -1,0 +1,196 @@
+package spec
+
+// dynamics_test.go is the corpus-wide property test: every registered
+// dynamic, run on instances loaded from the committed corpus documents,
+// agrees with the exact referee.
+//
+// Two properties, mirroring the per-dynamic stationarity suites:
+//
+//  1. One-round invariance (Monte-Carlo µP = µ): chains initialized with
+//     exact samples from µ and advanced one round must still be
+//     µ-distributed — regardless of mixing time, so this runs on every
+//     corpus instance including the non-uniqueness ones. Batched dynamics
+//     only: the injection goes through MultiChain.Lattice.
+//  2. Mixing TV: from the canonical start, a generous sweep budget must
+//     bring the empirical distribution within the sampling-noise envelope
+//     of µ. Restricted to the fast-mixing corpus instances, every
+//     registered dynamic including the sequential baseline.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/sampler"
+)
+
+// tvEnvelope is the acceptance threshold for an empirical distribution of
+// `samples` draws against a truth with the given support size.
+func tvEnvelope(support, samples int) float64 {
+	return 2.5 * dist.ExpectedTVNoise(support, samples)
+}
+
+// TestCorpusOneRoundInvariance draws exact samples into every chain of
+// each batched dynamic, advances one round, and requires the pooled
+// post-round samples to stay within the noise envelope of µ.
+func TestCorpusOneRoundInvariance(t *testing.T) {
+	corpus := loadCorpus(t)
+	const chains, rounds = 32, 50
+	for name, f := range corpus {
+		t.Run(name, func(t *testing.T) {
+			b, err := f.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := b.Instance
+			truth, err := exact.JointDistribution(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range sampler.MultiNames() {
+				t.Run(algo, func(t *testing.T) {
+					s, err := sampler.Create(algo, in, sampler.Options{Chains: chains, Seed: 7})
+					if err != nil {
+						t.Fatal(err)
+					}
+					m, ok := s.(sampler.MultiChain)
+					if !ok {
+						t.Fatalf("batched %q is not a MultiChain", algo)
+					}
+					rng := rand.New(rand.NewSource(99))
+					emp := dist.NewJoint(in.N())
+					for r := 0; r < rounds; r++ {
+						for c := 0; c < chains; c++ {
+							sigma, err := truth.Sample(rng)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := m.Lattice().SetChain(c, sigma); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if err := m.Run(1); err != nil {
+							t.Fatal(err)
+						}
+						for c := 0; c < chains; c++ {
+							emp.Add(m.Chain(c), 1)
+						}
+					}
+					if err := emp.Normalize(); err != nil {
+						t.Fatal(err)
+					}
+					tv, err := dist.TVJoint(truth, emp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if env := tvEnvelope(truth.Len(), chains*rounds); tv > env {
+						t.Errorf("one round of %s moved µ: TV = %.4f > envelope %.4f", algo, tv, env)
+					}
+				})
+			}
+		})
+	}
+}
+
+// mixingCorpus names the corpus instances small and fast-mixing enough
+// for the empirical mixing check (the above-λc and critical hardcore
+// entries are deliberately excluded: slow mixing is their point).
+var mixingCorpus = []string{
+	"hardcore-tree15-below",
+	"ising-torus3-low",
+	"matching-grid3",
+	"wcsp-explicit-pinned",
+	"hypermatching-arity3",
+}
+
+// TestCorpusMixingTV runs every registered dynamic from the canonical
+// start with a generous sweep budget and checks the empirical
+// distribution against the exact referee.
+func TestCorpusMixingTV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo mixing check")
+	}
+	corpus := loadCorpus(t)
+	const sweeps = 32
+	for _, name := range mixingCorpus {
+		f, ok := corpus[name]
+		if !ok {
+			t.Fatalf("mixing corpus names unknown instance %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			b, err := f.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := b.Instance
+			truth, err := exact.JointDistribution(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi := map[string]bool{}
+			for _, algo := range sampler.MultiNames() {
+				multi[algo] = true
+			}
+			for _, algo := range sampler.Names() {
+				t.Run(algo, func(t *testing.T) {
+					sweep, err := sampler.SweepRounds(algo, in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					emp := dist.NewJoint(in.N())
+					samples := 0
+					if multi[algo] {
+						// One batched engine, independent chains: every
+						// reset reseeds all chains from the canonical start.
+						const chains, resets = 32, 20
+						s, err := sampler.Create(algo, in, sampler.Options{Chains: chains, Seed: 3})
+						if err != nil {
+							t.Fatal(err)
+						}
+						m := s.(sampler.MultiChain)
+						for r := 0; r < resets; r++ {
+							if err := m.Reset(int64(1000 + r)); err != nil {
+								t.Fatal(err)
+							}
+							if err := m.Run(sweeps * sweep); err != nil {
+								t.Fatal(err)
+							}
+							for c := 0; c < chains; c++ {
+								emp.Add(m.Chain(c), 1)
+								samples++
+							}
+						}
+					} else {
+						const trials = 400
+						s, err := sampler.Create(algo, in, sampler.Options{Seed: 3})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := 0; i < trials; i++ {
+							if err := s.Reset(int64(2000 + i)); err != nil {
+								t.Fatal(err)
+							}
+							if err := s.Run(sweeps * sweep); err != nil {
+								t.Fatal(err)
+							}
+							emp.Add(s.State(), 1)
+							samples++
+						}
+					}
+					if err := emp.Normalize(); err != nil {
+						t.Fatal(err)
+					}
+					tv, err := dist.TVJoint(truth, emp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if env := tvEnvelope(truth.Len(), samples); tv > env {
+						t.Errorf("%s after %d sweeps: TV = %.4f > envelope %.4f (%d samples, support %d)",
+							algo, sweeps, tv, env, samples, truth.Len())
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package spec
+
+// fuzz_test.go is the loader's no-panic contract under fire. FuzzLoadSpec
+// drives arbitrary bytes through parse → validate → compile and enforces
+// two properties:
+//
+//   - The pipeline never panics: malformed input is always a typed error.
+//     The expansion-cost guard (MaxBuildWeights) is part of this contract —
+//     a few bytes of JSON must not buy an allocation explosion.
+//   - Valid documents are canonical: if Parse accepts, the document
+//     re-marshals, re-parses, and re-marshals to bit-identical bytes, and
+//     a successful Build rebuilds identically from the canonical form.
+//
+// The committed seeds live in testdata/fuzz/FuzzLoadSpec/ (the corpus
+// documents are added programmatically as well). CI runs this target for
+// a short smoke window on every push; longer local runs with
+//
+//	go test ./internal/spec -run '^$' -fuzz FuzzLoadSpec -fuzztime 30s
+//
+// grow the cached corpus.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzLoadSpec(f *testing.F) {
+	// Seed with the whole committed corpus: the fuzzer mutates from real
+	// documents of every schema shape.
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"graph":{"kind":"cycle","n":4},"model":{"kind":"hardcore","lambda":1}}`))
+	f.Add([]byte(`{"version":1,"graph":{"n":2,"edges":[[0,1]]},"q":2,"factors":[{"scope":[0,1],"table":[1,0,0,1]}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			// Malformed input must carry the typed error, never panic.
+			var se *Error
+			if !errorsAs(err, &se) {
+				t.Fatalf("Parse returned a non-*Error: %T %v", err, err)
+			}
+			return
+		}
+		// A document Parse accepted must marshal canonically.
+		canon, err := doc.Marshal()
+		if err != nil {
+			t.Fatalf("valid document failed to marshal: %v", err)
+		}
+		doc2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v", err)
+		}
+		canon2, err := doc2.Marshal()
+		if err != nil {
+			t.Fatalf("canonical form failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("marshal is not canonical:\n%s\nvs\n%s", canon, canon2)
+		}
+		// Compilation may reject (semantic bounds), but never panics, and
+		// success must be reproducible from the canonical form.
+		if _, err := doc.Build(); err != nil {
+			var se *Error
+			if !errorsAs(err, &se) {
+				t.Fatalf("Build returned a non-*Error: %T %v", err, err)
+			}
+			return
+		}
+		if _, err := doc2.Build(); err != nil {
+			t.Fatalf("canonical form failed to rebuild: %v", err)
+		}
+	})
+}
+
+// errorsAs is errors.As without the reflective import dance in the hot
+// fuzz loop.
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}

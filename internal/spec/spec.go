@@ -1,0 +1,415 @@
+// Package spec defines the versioned, serializable instance schema: a
+// declarative JSON description of a sampling/counting instance (graph,
+// model or explicit factor tables, vertex domains, pinnings) together with
+// a validating loader that compiles it into a gibbs.Instance and an
+// encoder that serializes any table-backed instance back into the schema.
+//
+// The schema is the single construction path every entry point goes
+// through: cmd/lsample's legacy -model/-graph/-n flags synthesize a File
+// and -spec loads one from disk, both compiled by Build; the curated
+// corpus under testdata/corpus/ is a set of committed Files spanning the
+// paper's regimes (hardcore below/at/above λc, the Ising uniqueness
+// interval endpoints, q = Δ and q = 2Δ colorings, high-degree hubs, an
+// arity-3 hypergraph matching); and the same format is the wire format a
+// sampling service can accept.
+//
+// A File declares its graph either as a named generator from the
+// internal/graph registry ({"kind": "torus", "n": 4}) or as an explicit
+// edge list ({"n": 6, "edges": [[0,1], ...]}); hypergraph-backed models
+// declare hyperedges instead. The distribution is either a named model
+// ({"kind": "hardcore", "lambda": 2}) expanded by the internal/model
+// builders, or explicit factor weight tables in the big-endian mixed-radix
+// encoding of gibbs.Factor. Optional vertex domains compile to 0/1 unary
+// factors appended after the declared factors, and pins become the
+// instance's pinned partial configuration (the paper's self-reducibility).
+//
+// Every operation returns the typed *Error on malformed input — never a
+// panic — and Marshal is canonical: parsing a valid document and
+// re-marshaling it is idempotent bit-for-bit, which the FuzzLoadSpec
+// target enforces.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the current schema version; Parse rejects every other value
+// so old readers fail loudly instead of misinterpreting newer documents.
+const Version = 1
+
+// Schema size caps. The loader is exposed to untrusted input (spec files,
+// the fuzzer, eventually a service), so every dimension that controls an
+// allocation is bounded: named generators are capped tighter because
+// grid/torus square their parameter.
+const (
+	// MaxGeneratorN caps the size parameter of a named graph generator.
+	MaxGeneratorN = 256
+	// MaxVertices caps the vertex count of an explicit edge/hyperedge list.
+	MaxVertices = 1 << 16
+	// MaxEdges caps the number of explicit edges or hyperedges.
+	MaxEdges = 1 << 16
+	// MaxFactors caps the number of explicit factors.
+	MaxFactors = 1 << 16
+	// MaxScope caps the arity of one explicit factor or hyperedge.
+	MaxScope = 8
+	// MaxQ caps the alphabet size of an explicit-factors document.
+	MaxQ = 1 << 10
+	// MaxTable caps the entry count of one explicit factor table.
+	MaxTable = 1 << 20
+)
+
+// Error is the typed error of every schema operation: Path locates the
+// offending field in the document ("graph.n", "factors[3].table") and Msg
+// says what is wrong with it. Malformed specs always come back as *Error —
+// the loader's no-panic contract, enforced by FuzzLoadSpec.
+type Error struct {
+	Path string
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return "spec: " + e.Msg
+	}
+	return "spec: " + e.Path + ": " + e.Msg
+}
+
+func errf(path, format string, args ...any) *Error {
+	return &Error{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// File is one schema document: a complete declarative instance.
+type File struct {
+	// Version must equal Version.
+	Version int `json:"version"`
+	// Name identifies the instance (corpus key, diagnostics).
+	Name string `json:"name,omitempty"`
+	// Graph declares the input graph.
+	Graph Graph `json:"graph"`
+	// Model declares a named model expanded by internal/model. Exactly one
+	// of Model and the explicit-factors form (Q, Factors) must be used.
+	Model *Model `json:"model,omitempty"`
+	// Q is the alphabet size of the explicit-factors form (zero with
+	// Model, whose builders fix their own alphabet).
+	Q int `json:"q,omitempty"`
+	// Factors are explicit weight tables over scope assignments, in the
+	// big-endian mixed-radix encoding of gibbs.Factor.Table.
+	Factors []Factor `json:"factors,omitempty"`
+	// Domains restrict the symbols available at individual vertices; each
+	// compiles to a 0/1 unary factor appended after the declared factors.
+	Domains []Domain `json:"domains,omitempty"`
+	// Pin is the instance's pinned partial configuration τ. For the
+	// matching/hypermatching models, vertices here (and in Domains) index
+	// the instance's interaction graph — edges of the base graph — not the
+	// base graph itself.
+	Pin []Pin `json:"pin,omitempty"`
+}
+
+// Graph declares the input graph: exactly one of a named generator
+// (Kind, N), an explicit edge list (N, Edges), or an explicit hyperedge
+// list (N, Hyperedges; only with the hypermatching model).
+type Graph struct {
+	// Kind names a generator from the internal/graph registry.
+	Kind string `json:"kind,omitempty"`
+	// N is the generator's size parameter, or the vertex count of an
+	// explicit edge/hyperedge list.
+	N int `json:"n"`
+	// Edges lists undirected edges as [u, v] pairs.
+	Edges [][2]int `json:"edges,omitempty"`
+	// Hyperedges lists hyperedges as vertex sets.
+	Hyperedges [][]int `json:"hyperedges,omitempty"`
+}
+
+// Model declares a named model. Parameters not used by the kind must be
+// left zero — the strictness keeps documents canonical.
+type Model struct {
+	// Kind is one of: hardcore, ising, twospin, coloring, listcoloring,
+	// matching, hypermatching.
+	Kind string `json:"kind"`
+	// Lambda is the fugacity/activity (hardcore, ising, twospin, matching,
+	// hypermatching).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Beta is the edge activity (ising: β = γ = Beta; twospin: the
+	// Out–Out weight).
+	Beta float64 `json:"beta,omitempty"`
+	// Gamma is the In–In edge weight (twospin only).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Q is the palette size (coloring, listcoloring).
+	Q int `json:"q,omitempty"`
+	// Lists are the per-vertex color lists (listcoloring only).
+	Lists [][]int `json:"lists,omitempty"`
+}
+
+// Factor is one explicit weight table over the configurations of its
+// scope: Table[i] is the weight of the assignment with big-endian
+// mixed-radix index i = Σ_j assign[j]·q^(s−1−j).
+type Factor struct {
+	Scope []int     `json:"scope"`
+	Table []float64 `json:"table"`
+	Name  string    `json:"name,omitempty"`
+}
+
+// Domain restricts vertex V to the symbols in Allow.
+type Domain struct {
+	V     int   `json:"v"`
+	Allow []int `json:"allow"`
+}
+
+// Pin pins vertex V to symbol X.
+type Pin struct {
+	V int `json:"v"`
+	X int `json:"x"`
+}
+
+// Parse decodes and validates a schema document. Unknown fields, trailing
+// content, a wrong version, and every structural defect are *Error.
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, errf("", "invalid JSON: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errf("", "trailing content after the document")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Marshal serializes the document canonically (fixed field order, two-space
+// indent, trailing newline). Only valid documents serialize, so a parsed
+// File re-marshals bit-identically: Marshal ∘ Parse ∘ Marshal = Marshal.
+func (f *File) Marshal() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		// Unreachable for validated documents (all values finite), kept as
+		// a typed error rather than a silent fallback.
+		return nil, errf("", "encode: %v", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks every structural property of the document that does not
+// require building the graph: the version, the graph declaration shape,
+// the model/factors exclusivity, factor table shapes and nonnegativity,
+// and domain/pin well-formedness. Bounds that depend on the built instance
+// (vertex indices vs the generated graph, symbols vs a model's alphabet)
+// are checked by Build.
+func (f *File) Validate() error {
+	if f.Version != Version {
+		return errf("version", "got %d, want %d", f.Version, Version)
+	}
+	if err := f.Graph.validate(); err != nil {
+		return err
+	}
+	hasModel := f.Model != nil
+	hasFactors := f.Q != 0 || len(f.Factors) > 0
+	switch {
+	case hasModel && hasFactors:
+		return errf("", "model and explicit factors are mutually exclusive")
+	case !hasModel && !hasFactors:
+		return errf("", "need a model or an explicit alphabet q (with factors)")
+	}
+	if len(f.Graph.Hyperedges) > 0 && (!hasModel || f.Model.Kind != "hypermatching") {
+		return errf("graph.hyperedges", "hyperedges require the hypermatching model")
+	}
+	if hasModel {
+		if err := f.Model.validate(); err != nil {
+			return err
+		}
+	} else {
+		if f.Q < 1 || f.Q > MaxQ {
+			return errf("q", "alphabet size %d outside [1, %d]", f.Q, MaxQ)
+		}
+		if len(f.Factors) > MaxFactors {
+			return errf("factors", "%d factors exceed the cap %d", len(f.Factors), MaxFactors)
+		}
+		for i, fc := range f.Factors {
+			if err := fc.validate(i, f.Q); err != nil {
+				return err
+			}
+		}
+	}
+	seenDom := map[int]bool{}
+	for i, d := range f.Domains {
+		path := fmt.Sprintf("domains[%d]", i)
+		if d.V < 0 {
+			return errf(path+".v", "negative vertex %d", d.V)
+		}
+		if seenDom[d.V] {
+			return errf(path+".v", "vertex %d has two domains", d.V)
+		}
+		seenDom[d.V] = true
+		if len(d.Allow) == 0 {
+			return errf(path+".allow", "empty domain")
+		}
+		seenSym := map[int]bool{}
+		for _, x := range d.Allow {
+			if x < 0 {
+				return errf(path+".allow", "negative symbol %d", x)
+			}
+			if seenSym[x] {
+				return errf(path+".allow", "symbol %d repeated", x)
+			}
+			seenSym[x] = true
+		}
+	}
+	seenPin := map[int]bool{}
+	for i, p := range f.Pin {
+		path := fmt.Sprintf("pin[%d]", i)
+		if p.V < 0 {
+			return errf(path+".v", "negative vertex %d", p.V)
+		}
+		if seenPin[p.V] {
+			return errf(path+".v", "vertex %d pinned twice", p.V)
+		}
+		seenPin[p.V] = true
+		if p.X < 0 {
+			return errf(path+".x", "negative symbol %d", p.X)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) validate() error {
+	explicit := len(g.Edges) > 0 || len(g.Hyperedges) > 0
+	switch {
+	case g.Kind != "" && explicit:
+		return errf("graph", "a named kind and an explicit edge list are mutually exclusive")
+	case len(g.Edges) > 0 && len(g.Hyperedges) > 0:
+		return errf("graph", "edges and hyperedges are mutually exclusive")
+	case g.Kind != "":
+		if g.N < 1 || g.N > MaxGeneratorN {
+			return errf("graph.n", "generator size %d outside [1, %d]", g.N, MaxGeneratorN)
+		}
+		return nil
+	}
+	// Explicit vertex set (possibly with no edges at all).
+	if g.N < 1 || g.N > MaxVertices {
+		return errf("graph.n", "vertex count %d outside [1, %d]", g.N, MaxVertices)
+	}
+	if len(g.Edges) > MaxEdges {
+		return errf("graph.edges", "%d edges exceed the cap %d", len(g.Edges), MaxEdges)
+	}
+	for i, e := range g.Edges {
+		path := fmt.Sprintf("graph.edges[%d]", i)
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			return errf(path, "edge (%d, %d) outside vertex range [0, %d)", e[0], e[1], g.N)
+		}
+		if e[0] == e[1] {
+			return errf(path, "self loop at vertex %d", e[0])
+		}
+	}
+	if len(g.Hyperedges) > MaxEdges {
+		return errf("graph.hyperedges", "%d hyperedges exceed the cap %d", len(g.Hyperedges), MaxEdges)
+	}
+	for i, e := range g.Hyperedges {
+		path := fmt.Sprintf("graph.hyperedges[%d]", i)
+		if len(e) == 0 {
+			return errf(path, "empty hyperedge")
+		}
+		if len(e) > MaxScope {
+			return errf(path, "hyperedge of size %d exceeds the cap %d", len(e), MaxScope)
+		}
+		for _, v := range e {
+			if v < 0 || v >= g.N {
+				return errf(path, "vertex %d outside range [0, %d)", v, g.N)
+			}
+		}
+	}
+	return nil
+}
+
+// modelParams says which parameters each model kind consumes; everything
+// else must be zero so a document has exactly one spelling.
+var modelParams = map[string]struct{ lambda, beta, gamma, q, lists bool }{
+	"hardcore":      {lambda: true},
+	"ising":         {lambda: true, beta: true},
+	"twospin":       {lambda: true, beta: true, gamma: true},
+	"coloring":      {q: true},
+	"listcoloring":  {q: true, lists: true},
+	"matching":      {lambda: true},
+	"hypermatching": {lambda: true},
+}
+
+func (m *Model) validate() error {
+	p, ok := modelParams[m.Kind]
+	if !ok {
+		return errf("model.kind", "unknown model %q", m.Kind)
+	}
+	if !p.lambda && m.Lambda != 0 {
+		return errf("model.lambda", "model %q takes no lambda", m.Kind)
+	}
+	if !p.beta && m.Beta != 0 {
+		return errf("model.beta", "model %q takes no beta", m.Kind)
+	}
+	if !p.gamma && m.Gamma != 0 {
+		return errf("model.gamma", "model %q takes no gamma", m.Kind)
+	}
+	if !p.q && m.Q != 0 {
+		return errf("model.q", "model %q takes no q", m.Kind)
+	}
+	if !p.lists && m.Lists != nil {
+		return errf("model.lists", "model %q takes no lists", m.Kind)
+	}
+	for _, v := range []struct {
+		name string
+		x    float64
+	}{{"lambda", m.Lambda}, {"beta", m.Beta}, {"gamma", m.Gamma}} {
+		if math.IsNaN(v.x) || math.IsInf(v.x, 0) {
+			return errf("model."+v.name, "must be finite, got %v", v.x)
+		}
+	}
+	if p.q && (m.Q < 1 || m.Q > MaxQ) {
+		return errf("model.q", "palette size %d outside [1, %d]", m.Q, MaxQ)
+	}
+	// List contents are checked against the palette by the builder; the
+	// schema only bounds the shape.
+	if m.Lists != nil && len(m.Lists) > MaxVertices {
+		return errf("model.lists", "%d lists exceed the cap %d", len(m.Lists), MaxVertices)
+	}
+	return nil
+}
+
+func (fc *Factor) validate(i, q int) error {
+	path := fmt.Sprintf("factors[%d]", i)
+	if len(fc.Scope) == 0 {
+		return errf(path+".scope", "empty scope")
+	}
+	if len(fc.Scope) > MaxScope {
+		return errf(path+".scope", "arity %d exceeds the cap %d", len(fc.Scope), MaxScope)
+	}
+	for _, v := range fc.Scope {
+		if v < 0 {
+			return errf(path+".scope", "negative vertex %d", v)
+		}
+	}
+	want := 1
+	for range fc.Scope {
+		if want > MaxTable/q {
+			return errf(path+".table", "table over q^%d assignments too large", len(fc.Scope))
+		}
+		want *= q
+	}
+	if len(fc.Table) != want {
+		return errf(path+".table", "%d entries, want q^%d = %d", len(fc.Table), len(fc.Scope), want)
+	}
+	for j, w := range fc.Table {
+		// !(w >= 0) also catches NaN, which JSON cannot carry but a
+		// programmatically built File could.
+		if !(w >= 0) || math.IsInf(w, 0) {
+			return errf(fmt.Sprintf("%s.table[%d]", path, j), "weights must be finite and nonnegative, got %v", w)
+		}
+	}
+	return nil
+}

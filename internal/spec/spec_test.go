@@ -1,0 +1,254 @@
+package spec
+
+// spec_test.go pins the schema's validation surface: every malformed
+// document is a typed *Error naming the offending field, valid documents
+// marshal canonically, and the caps hold.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func validDoc() *File {
+	return &File{
+		Version: Version,
+		Name:    "t",
+		Graph:   Graph{Kind: "cycle", N: 8},
+		Model:   &Model{Kind: "hardcore", Lambda: 1.5},
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(f *File)
+		path string // required Error.Path prefix
+	}{
+		{"wrong version", func(f *File) { f.Version = 2 }, "version"},
+		{"kind and edges", func(f *File) { f.Graph.Edges = [][2]int{{0, 1}} }, "graph"},
+		{"generator too large", func(f *File) { f.Graph.N = MaxGeneratorN + 1 }, "graph.n"},
+		{"generator nonpositive", func(f *File) { f.Graph.N = 0 }, "graph.n"},
+		{"model and factors", func(f *File) { f.Q = 2 }, ""},
+		{"neither model nor factors", func(f *File) { f.Model = nil }, ""},
+		{"unknown model", func(f *File) { f.Model.Kind = "nosuch" }, "model.kind"},
+		{"unused param", func(f *File) { f.Model.Q = 3 }, "model.q"},
+		{"nan lambda", func(f *File) { f.Model.Lambda = math.NaN() }, "model.lambda"},
+		{"inf lambda", func(f *File) { f.Model.Lambda = math.Inf(1) }, "model.lambda"},
+		{"hyperedges without hypermatching", func(f *File) {
+			f.Graph = Graph{N: 4, Hyperedges: [][]int{{0, 1, 2}}}
+		}, "graph.hyperedges"},
+		{"duplicate pin", func(f *File) { f.Pin = []Pin{{V: 1, X: 0}, {V: 1, X: 1}} }, "pin[1].v"},
+		{"negative pin symbol", func(f *File) { f.Pin = []Pin{{V: 1, X: -1}} }, "pin[0].x"},
+		{"duplicate domain", func(f *File) {
+			f.Domains = []Domain{{V: 0, Allow: []int{0}}, {V: 0, Allow: []int{1}}}
+		}, "domains[1].v"},
+		{"empty domain", func(f *File) { f.Domains = []Domain{{V: 0}} }, "domains[0].allow"},
+		{"repeated domain symbol", func(f *File) { f.Domains = []Domain{{V: 0, Allow: []int{1, 1}}} }, "domains[0].allow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validDoc()
+			tc.mut(f)
+			err := f.Validate()
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v, want *Error", err)
+			}
+			if !strings.HasPrefix(se.Path, tc.path) {
+				t.Errorf("error path %q, want prefix %q (%v)", se.Path, tc.path, se)
+			}
+		})
+	}
+}
+
+func TestValidateExplicitFactors(t *testing.T) {
+	base := func() *File {
+		return &File{
+			Version: Version,
+			Graph:   Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}},
+			Q:       2,
+			Factors: []Factor{{Scope: []int{0, 1}, Table: []float64{1, 2, 3, 4}}},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid explicit document rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(f *File)
+		path string
+	}{
+		{"edge out of range", func(f *File) { f.Graph.Edges[0] = [2]int{0, 3} }, "graph.edges[0]"},
+		{"self loop", func(f *File) { f.Graph.Edges[0] = [2]int{1, 1} }, "graph.edges[0]"},
+		{"q over cap", func(f *File) { f.Q = MaxQ + 1 }, "q"},
+		{"empty scope", func(f *File) { f.Factors[0].Scope = nil }, "factors[0].scope"},
+		{"scope over cap", func(f *File) { f.Factors[0].Scope = make([]int, MaxScope+1) }, "factors[0].scope"},
+		{"negative scope vertex", func(f *File) { f.Factors[0].Scope = []int{-1} }, "factors[0].scope"},
+		{"table size mismatch", func(f *File) { f.Factors[0].Table = []float64{1} }, "factors[0].table"},
+		{"negative weight", func(f *File) { f.Factors[0].Table[2] = -1 }, "factors[0].table[2]"},
+		{"nan weight", func(f *File) { f.Factors[0].Table[0] = math.NaN() }, "factors[0].table[0]"},
+		{"inf weight", func(f *File) { f.Factors[0].Table[0] = math.Inf(1) }, "factors[0].table[0]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base()
+			tc.mut(f)
+			err := f.Validate()
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v, want *Error", err)
+			}
+			if !strings.HasPrefix(se.Path, tc.path) {
+				t.Errorf("error path %q, want prefix %q (%v)", se.Path, tc.path, se)
+			}
+		})
+	}
+}
+
+func TestParseStrictness(t *testing.T) {
+	bad := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"not json", "nope"},
+		{"unknown field", `{"version":1,"bogus":true,"graph":{"kind":"cycle","n":4},"model":{"kind":"hardcore","lambda":1}}`},
+		{"trailing content", `{"version":1,"graph":{"kind":"cycle","n":4},"model":{"kind":"hardcore","lambda":1}} {"more":1}`},
+		{"wrong version", `{"version":7,"graph":{"kind":"cycle","n":4},"model":{"kind":"hardcore","lambda":1}}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			var se *Error
+			if _, err := Parse([]byte(tc.data)); !errors.As(err, &se) {
+				t.Errorf("Parse accepted, or returned a non-*Error: %v", err)
+			}
+		})
+	}
+}
+
+// TestMarshalCanonical pins the canonicalization law the fuzz target
+// enforces at scale: Marshal ∘ Parse ∘ Marshal = Marshal.
+func TestMarshalCanonical(t *testing.T) {
+	data, err := validDoc().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("re-marshal is not canonical:\n%s\nvs\n%s", data, again)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("canonical form lacks the trailing newline")
+	}
+}
+
+// TestBuildSemanticErrors pins the loader errors only Build can detect
+// (they depend on the built graph or the model's alphabet).
+func TestBuildSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *File
+		path string
+	}{
+		{"pin vertex out of range", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model: &Model{Kind: "hardcore", Lambda: 1},
+			Pin:   []Pin{{V: 9, X: 0}},
+		}, "pin[0].v"},
+		{"pin symbol out of range", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model: &Model{Kind: "hardcore", Lambda: 1},
+			Pin:   []Pin{{V: 0, X: 5}},
+		}, "pin[0].x"},
+		{"domain vertex out of range", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model:   &Model{Kind: "hardcore", Lambda: 1},
+			Domains: []Domain{{V: 7, Allow: []int{0}}},
+		}, "domains[0].v"},
+		{"domain symbol out of range", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model:   &Model{Kind: "hardcore", Lambda: 1},
+			Domains: []Domain{{V: 0, Allow: []int{3}}},
+		}, "domains[0].allow"},
+		{"unknown generator", &File{
+			Version: Version, Graph: Graph{Kind: "nosuch", N: 4},
+			Model: &Model{Kind: "hardcore", Lambda: 1},
+		}, "graph.kind"},
+		{"builder rejection", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model: &Model{Kind: "hardcore", Lambda: -2},
+		}, "model"},
+		{"hypermatching without hyperedges", &File{
+			Version: Version, Graph: Graph{Kind: "cycle", N: 4},
+			Model: &Model{Kind: "hypermatching", Lambda: 1},
+		}, "graph"},
+		{"coloring palette explosion", &File{
+			Version: Version, Graph: Graph{Kind: "torus", N: 200},
+			Model: &Model{Kind: "coloring", Q: 1000},
+		}, "model"},
+		{"factor scope vs graph", &File{
+			Version: Version, Graph: Graph{N: 2, Edges: [][2]int{{0, 1}}},
+			Q:       2,
+			Factors: []Factor{{Scope: []int{5}, Table: []float64{1, 1}}},
+		}, "factors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.f.Build()
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Build() = %v, want *Error", err)
+			}
+			if !strings.HasPrefix(se.Path, tc.path) {
+				t.Errorf("error path %q, want prefix %q (%v)", se.Path, tc.path, se)
+			}
+		})
+	}
+}
+
+// TestBuildDomainsAndPins checks the semantics Build gives domains and
+// pins: a domain halves the star's leaf alphabet, a pin fixes a vertex.
+func TestBuildDomainsAndPins(t *testing.T) {
+	f := &File{
+		Version: Version,
+		Graph:   Graph{Kind: "path", N: 3},
+		Q:       2,
+		Factors: []Factor{{Scope: []int{0, 1}, Table: []float64{1, 1, 1, 1}, Name: "free"}},
+		Domains: []Domain{{V: 2, Allow: []int{0}}},
+		Pin:     []Pin{{V: 0, X: 1}},
+	}
+	b, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Instance.Pinned[0]; got != 1 {
+		t.Errorf("pin not applied: Pinned[0] = %d", got)
+	}
+	free := b.Instance.FreeVertices()
+	for _, v := range free {
+		if v == 0 {
+			t.Error("pinned vertex 0 reported free")
+		}
+	}
+	// 2 free vertices, vertex 2 restricted to symbol 0 → 2 configurations.
+	// All factor weights are 1, so Z counts them.
+	z, err := exact.Partition(b.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != 2 {
+		t.Errorf("Z = %g, want 2 (domain or pin not enforced)", z)
+	}
+}

@@ -92,7 +92,7 @@ func runEngines(t *testing.T, in *gibbs.Instance, seed int64) map[string]dist.Co
 				continue
 			}
 		}
-		s, err := sampler.New(name, in, seed)
+		s, err := sampler.Create(name, in, sampler.Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
