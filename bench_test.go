@@ -24,6 +24,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netdecomp"
 	"repro/internal/psample"
+	"repro/internal/run"
 	"repro/internal/sampler"
 )
 
@@ -572,4 +573,44 @@ func BenchmarkLubyGlauberLOCAL(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDriverConverge measures the adaptive run controller end to end:
+// one full drive-to-convergence per iteration on a 36-vertex torus Ising
+// instance inside the uniqueness regime (Δ = 4 interval is (1/2, 2)),
+// chromatic dynamics, stopping at worst-vertex R̂ < 1.05. The benchmark
+// fails if any run exhausts the budget instead of converging, so it doubles
+// as a CI check that the stop rule actually fires; sweeps-to-converge is
+// the decision-quality metric next to the wall-clock one.
+func BenchmarkDriverConverge(b *testing.B) {
+	g := graph.Torus(6, 6)
+	spec, err := model.Ising(g, 0.8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := gibbs.NewInstance(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := run.Policy{
+		Chains:     8,
+		MaxSweeps:  4096,
+		CheckEvery: 4,
+		Rhat:       1.05,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sweeps := 0
+	for i := 0; i < b.N; i++ {
+		rep, _, err := run.One(in, "chromatic", 11, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatalf("driver did not converge: stop=%s after %d sweeps", rep.Reason, rep.Sweeps)
+		}
+		sweeps = rep.Sweeps
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sweeps), "sweeps-to-converge")
 }

@@ -86,7 +86,7 @@ func main() {
 	warn := flag.Float64("warn", 0, "flag ns/op regressions above this percentage vs the baseline (0 = off; never fails the run)")
 	failPct := flag.Float64("fail", 0, "exit nonzero when an allowlisted benchmark (see -faillist) regresses ns/op above this percentage vs the baseline (0 = off)")
 	failAllocPct := flag.Float64("failallocs", 0, "exit nonzero when an allowlisted benchmark regresses allocs/op above this percentage vs the baseline (any growth from a zero-alloc baseline gates; 0 = off)")
-	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep,BatchLuby,BatchMetropolis",
+	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep,BatchLuby,BatchMetropolis,DriverConverge",
 		"comma-separated benchmark-name substrings gated by -fail and -failallocs; others stay warn-only")
 	flag.Parse()
 	report, failed, err := parse(os.Stdin, os.Stderr)

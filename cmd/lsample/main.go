@@ -13,6 +13,15 @@
 // loader, so a spec file and the flags that describe the same instance
 // produce bit-identical sample streams for the same seed.
 //
+// Adaptive stopping: -converge 'rhat<1.05' and/or -min-ess route the run
+// through the internal/run driver — the chains advance in sweep-equivalent
+// chunks and stop as soon as the cross-chain diagnostics meet the targets
+// instead of exhausting the fixed budget (-sweeps/-rounds become the
+// budget ceiling). -algo then accepts a comma-separated escalation list
+// ("chromatic,metropolis"): when a stage's acceptance rate falls below
+// -min-rate the driver hands the chains to the next dynamic. -rhat alone
+// reports the diagnostics after the full budget, through the same driver.
+//
 // Usage:
 //
 //	lsample -model hardcore -graph cycle -n 24 -lambda 1.0 -sampler jvv
@@ -24,6 +33,10 @@
 //	lsample -model ising -graph cycle -n 64 -beta 0.8 -algo glauber -sweeps 50
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 32
 //	lsample -model ising -graph torus -n 16 -algo metropolis -chains 16 -rhat
+//	lsample -spec testdata/corpus/hardcore-tree15-below.json -algo chromatic \
+//	    -converge 'rhat<1.05'
+//	lsample -model hardcore -graph torus -n 16 -lambda 3 \
+//	    -algo metropolis,chromatic -min-rate 0.5 -converge 'rhat<1.1' -min-ess 200
 //	lsample -model hardcore -graph torus -n 24 -algo chromatic -chains 64 \
 //	    -sweeps 500 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -32,10 +45,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -44,6 +59,7 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/graph"
 	"repro/internal/model"
+	adaptive "repro/internal/run"
 	"repro/internal/sampler"
 	"repro/internal/spec"
 	"repro/internal/state"
@@ -87,8 +103,16 @@ type options struct {
 	sweeps   int
 	chains   int
 	rhat     bool
+	converge string
+	minESS   float64
+	burnin   int
+	minRate  float64
 	cpuprof  string
 	memprof  string
+	// chainsSet records whether -chains appeared on the command line: the
+	// adaptive driver defaults an unset -chains to a useful batch, but an
+	// explicit -chains 1 stays an error (the diagnostics are cross-chain).
+	chainsSet bool
 }
 
 // startProfiles wires the optional pprof outputs around the run: CPU
@@ -154,11 +178,20 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.sweeps, "sweeps", 64, "sweep-equivalents for -algo when -rounds is 0")
 	fs.IntVar(&o.chains, "chains", 1, "independent chains for the batched multi-chain engines (-algo "+strings.Join(sampler.MultiNames(), " | ")+")")
 	fs.BoolVar(&o.rhat, "rhat", false, "report the worst-vertex cross-chain Gelman–Rubin R̂ (needs a batched -algo and -chains ≥ 2)")
+	fs.StringVar(&o.converge, "converge", "", "adaptive stopping criterion, e.g. 'rhat<1.05': stop as soon as the worst-vertex R̂ meets the threshold (needs a batched -algo)")
+	fs.Float64Var(&o.minESS, "min-ess", 0, "adaptive stopping floor on the per-vertex effective sample size (combines with -converge)")
+	fs.IntVar(&o.burnin, "burnin", 0, "sweep-equivalents discarded before the adaptive driver starts observing")
+	fs.Float64Var(&o.minRate, "min-rate", 0, "acceptance-rate floor per sweep-equivalent: below it the driver escalates to the next dynamic of the comma-separated -algo list")
 	fs.StringVar(&o.cpuprof, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	fs.StringVar(&o.memprof, "memprofile", "", "write a GC-settled heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "chains" {
+			o.chainsSet = true
+		}
+	})
 	if o.chains == 0 {
 		return fmt.Errorf("-chains 0 names no engine: 1 is the single-chain engine, B ≥ 2 the batched one")
 	}
@@ -245,10 +278,13 @@ func sample(out *os.File, o options) error {
 		return runAlgo(out, b, render, o)
 	}
 	if o.chains != 1 {
-		return fmt.Errorf("-chains %d needs a batched -algo (%s); the -sampler path draws one exact/approximate sample", o.chains, strings.Join(sampler.MultiNames(), " | "))
+		return fmt.Errorf("-chains %d needs a batched -algo (%s); the -sampler path draws one exact/approximate sample — try -algo chromatic -chains %d", o.chains, strings.Join(sampler.MultiNames(), " | "), max(o.chains, 2))
 	}
 	if o.rhat {
-		return fmt.Errorf("-rhat needs a batched -algo (%s) and -chains ≥ 2; the -sampler path draws one sample", strings.Join(sampler.MultiNames(), " | "))
+		return fmt.Errorf("-rhat needs a batched -algo (%s) and -chains ≥ 2; the -sampler path draws one exact/approximate sample — try -algo chromatic -chains 8 -rhat", strings.Join(sampler.MultiNames(), " | "))
+	}
+	if o.converge != "" || o.minESS > 0 {
+		return fmt.Errorf("-converge/-min-ess need a batched -algo (%s); the -sampler path draws one exact/approximate sample — try -algo chromatic -converge 'rhat<1.05'", strings.Join(sampler.MultiNames(), " | "))
 	}
 
 	oracle, err := buildOracle(b, o)
@@ -280,28 +316,68 @@ func sample(out *os.File, o options) error {
 	return nil
 }
 
+// parseConverge parses the -converge criterion. The only supported form
+// is "rhat<THRESHOLD" (optionally "rhat<=THRESHOLD"); spaces are ignored.
+func parseConverge(s string) (float64, error) {
+	c := strings.ReplaceAll(strings.ToLower(s), " ", "")
+	rest, ok := strings.CutPrefix(c, "rhat<")
+	if !ok {
+		return 0, fmt.Errorf("unrecognized -converge criterion %q (supported: 'rhat<THRESHOLD', e.g. -converge 'rhat<1.05')", s)
+	}
+	rest = strings.TrimPrefix(rest, "=")
+	x, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, fmt.Errorf("-converge %q: threshold %q is not a number", s, rest)
+	}
+	return x, nil
+}
+
 // runAlgo runs the -algo path: any dynamics from the internal/sampler
-// registry, or the batched multi-chain engine when -chains > 1. All
-// degree-based heuristics use the instance's interaction graph, which
-// differs from the input graph for the matching model (a vertex model on
-// the line graph).
+// registry, the batched multi-chain engine when -chains > 1, or the
+// adaptive driver when a stopping criterion (-converge/-min-ess/-rhat) is
+// given. All degree-based heuristics use the instance's interaction graph,
+// which differs from the input graph for the matching model (a vertex
+// model on the line graph).
 func runAlgo(out *os.File, b *spec.Built, render func(dist.Config) string, o options) error {
 	in := b.Instance
-	algo := strings.ToLower(o.algo)
-	if _, ok := sampler.Lookup(algo); !ok {
-		return fmt.Errorf("unknown algo %q (have %s)", o.algo, strings.Join(sampler.Names(), " | "))
+	stages := strings.Split(strings.ToLower(o.algo), ",")
+	for i, name := range stages {
+		stages[i] = strings.TrimSpace(name)
+		if _, ok := sampler.Lookup(stages[i]); !ok {
+			return fmt.Errorf("unknown algo %q (have %s)", stages[i], strings.Join(sampler.Names(), " | "))
+		}
 	}
+	useDriver := o.converge != "" || o.minESS > 0 || o.rhat
+	if len(stages) > 1 && !useDriver {
+		return fmt.Errorf("-algo escalation lists need the adaptive driver: add -converge 'rhat<1.05', -min-ess, or -rhat")
+	}
+	if useDriver {
+		// -converge/-min-ess without -chains get a useful default batch;
+		// the report-only -rhat keeps its explicit-chains contract, and an
+		// explicit -chains 1 is always an error (diagnostics are
+		// cross-chain).
+		if !o.chainsSet && o.chains == 1 && !o.rhat {
+			o.chains = adaptive.DefaultChains
+		}
+		if o.chains < 2 && o.chains >= 0 {
+			return fmt.Errorf("-rhat/-converge/-min-ess are cross-chain diagnostics and need a batched -algo (%s) with -chains ≥ 2 — try -algo %s -chains 8", strings.Join(sampler.MultiNames(), " | "), stages[0])
+		}
+	}
+	algo := stages[0]
 	delta := in.Spec.G.MaxDegree()
-	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", b.ModelKind(), b.GraphKind(), in.N(), delta, algo)
+	fmt.Fprintf(out, "model=%s graph=%s n=%d Δ=%d algo=%s\n", b.ModelKind(), b.GraphKind(), in.N(), delta, strings.Join(stages, ","))
 	sweep, err := sampler.SweepRounds(algo, in)
 	if err != nil {
 		return err
+	}
+	if useDriver {
+		return runDriver(out, in, render, stages, sweep, o)
 	}
 	rounds := o.rounds
 	if rounds <= 0 {
 		rounds = max(o.sweeps, 1) * sweep
 	}
-	if o.chains != 1 || o.rhat {
+	if o.chains != 1 {
 		return runBatch(out, in, render, algo, rounds, o)
 	}
 	s, err := sampler.Create(algo, in, sampler.Options{Seed: o.seed})
@@ -319,10 +395,7 @@ func runAlgo(out *os.File, b *spec.Built, render func(dist.Config) string, o opt
 // runBatch runs B independent chains of the chosen dynamics in lockstep
 // on its batched multi-chain engine and renders the first chain (every
 // chain is an equally valid sample; the point of the batch is throughput
-// per chain, reported by the BenchmarkBatch* suite). With -rhat the
-// rounds are run one at a time, each folded into the cross-chain
-// Gelman–Rubin accumulator, and the worst-vertex R̂ is reported alongside
-// the sample.
+// per chain, reported by the BenchmarkBatch* suite).
 func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string, algo string, rounds int, o options) error {
 	s, err := sampler.Create(algo, in, sampler.Options{Chains: o.chains, Seed: o.seed})
 	if err != nil {
@@ -332,34 +405,60 @@ func runBatch(out *os.File, in *gibbs.Instance, render func(dist.Config) string,
 	if !ok {
 		return fmt.Errorf("dynamic %q built no multi-chain engine for -chains %d", algo, o.chains)
 	}
-	if !o.rhat {
-		if err := m.Run(rounds); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "rounds=%d chains=%d%s%s\n", m.Rounds(), m.Chains(), batchStats(m), samplerStats(m))
-		fmt.Fprintln(out, render(m.Chain(0)))
-		return nil
-	}
-	acc, err := sampler.NewRhat(m)
-	if err != nil {
-		return fmt.Errorf("-rhat: %w", err)
-	}
-	for i := 0; i < rounds; i++ {
-		if err := m.Run(1); err != nil {
-			return err
-		}
-		acc.Observe()
+	if err := m.Run(rounds); err != nil {
+		return err
 	}
 	fmt.Fprintf(out, "rounds=%d chains=%d%s%s\n", m.Rounds(), m.Chains(), batchStats(m), samplerStats(m))
-	if acc.Count() >= 2 {
-		v, worst, err := acc.Worst()
+	fmt.Fprintln(out, render(m.Chain(0)))
+	return nil
+}
+
+// runDriver routes the run through the adaptive controller: advance in
+// sweep-equivalents, observe the cross-chain diagnostics after every one,
+// stop at the -converge/-min-ess targets (or report-only at the budget for
+// bare -rhat), escalating down the -algo list on -min-rate collapse. The
+// sweep budget is -sweeps, or -rounds converted at the first stage's
+// sweep-equivalent rate.
+func runDriver(out *os.File, in *gibbs.Instance, render func(dist.Config) string, stages []string, sweep int, o options) error {
+	p := adaptive.Policy{
+		Chains:     o.chains,
+		BurnIn:     o.burnin,
+		CheckEvery: 1,
+		MinESS:     o.minESS,
+	}
+	if o.converge != "" {
+		rhat, err := parseConverge(o.converge)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "rhat=%.4f worst-vertex=%d observations=%d (R̂ ≈ 1 ⇔ chains converged)\n", worst, v, acc.Count())
-	} else {
-		fmt.Fprintf(out, "rhat: need ≥ 2 rounds to estimate (have %d)\n", acc.Count())
+		p.Rhat = rhat
 	}
+	p.MaxSweeps = max(o.sweeps, 1)
+	if o.rounds > 0 {
+		p.MaxSweeps = (o.rounds + sweep - 1) / sweep
+	}
+	for i, name := range stages {
+		st := adaptive.Stage{Dynamic: name}
+		if i < len(stages)-1 {
+			st.MinRate = o.minRate
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	rep, m, err := adaptive.Drive(in, o.seed, p)
+	if err != nil {
+		return err
+	}
+	for i, sr := range rep.Stages {
+		fmt.Fprintf(out, "stage=%d dynamic=%s sweeps=%d rounds=%d checks=%d reason=%s\n",
+			i, sr.Dynamic, sr.Sweeps, sr.Rounds, len(sr.Checks), sr.Reason)
+	}
+	if math.IsNaN(rep.Rhat) {
+		fmt.Fprintf(out, "rhat: no checks within the %d-sweep budget (the diagnostics need ≥ 4 observations)\n", rep.Sweeps)
+	} else {
+		fmt.Fprintf(out, "rhat=%.4f worst-vertex=%d split-rhat=%.4f ess=%.1f ess-vertex=%d sweeps=%d stop=%s (R̂ ≈ 1 ⇔ chains converged)\n",
+			rep.Rhat, rep.WorstVertex, rep.SplitRhat, rep.ESS, rep.ESSVertex, rep.Sweeps, rep.Reason)
+	}
+	fmt.Fprintf(out, "rounds=%d chains=%d%s%s\n", m.Rounds(), m.Chains(), batchStats(m), samplerStats(m))
 	fmt.Fprintln(out, render(m.Chain(0)))
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/spec"
@@ -240,6 +243,87 @@ func TestRunRhat(t *testing.T) {
 		// the sequential baseline.
 		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-algo", "glauber", "-chains", "4", "-rhat"},
 		{"-model", "hardcore", "-graph", "cycle", "-n", "10", "-sampler", "jvv", "-rhat"},
+	}
+	for _, args := range bad {
+		if err := run(args, devnull); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunConvergeStopsEarly is the acceptance criterion of the adaptive
+// driver wiring: on a fast-mixing corpus instance, -converge 'rhat<1.05'
+// must stop in fewer sweep-equivalents than the fixed default budget of
+// 64, and say so in the report line.
+func TestRunConvergeStopsEarly(t *testing.T) {
+	dir := t.TempDir()
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	args := []string{"-spec", "../../testdata/corpus/hardcore-tree15-below.json",
+		"-algo", "chromatic", "-converge", "rhat<1.05", "-seed", "5"}
+	if err := run(args, out); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+	got, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	if !strings.Contains(text, "stop=converged") {
+		t.Fatalf("run did not converge:\n%s", text)
+	}
+	m := regexp.MustCompile(`sweeps=(\d+) stop=`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no sweep count in report:\n%s", text)
+	}
+	sweeps, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps >= 64 {
+		t.Errorf("adaptive stop used %d sweeps, want fewer than the fixed default 64:\n%s", sweeps, text)
+	}
+}
+
+// TestRunAdaptiveFlags covers the driver path's flag surface: escalation
+// lists, -min-ess, -burnin, and the rejections.
+func TestRunAdaptiveFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	ok := [][]string{
+		// Escalation list with a rate floor and both targets.
+		{"-model", "hardcore", "-graph", "cycle", "-n", "12", "-lambda", "2",
+			"-algo", "metropolis,chromatic", "-min-rate", "0.99", "-converge", "rhat<1.2", "-sweeps", "200"},
+		// -min-ess alone triggers the driver; -chains defaults up.
+		{"-model", "ising", "-graph", "cycle", "-n", "10", "-beta", "0.7",
+			"-algo", "chromatic", "-min-ess", "50", "-sweeps", "200"},
+		// Burn-in plus an explicit chain count.
+		{"-model", "hardcore", "-graph", "grid", "-n", "3",
+			"-algo", "luby", "-chains", "4", "-burnin", "8", "-converge", "rhat<1.3", "-sweeps", "300"},
+	}
+	for _, args := range ok {
+		if err := run(args, devnull); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	bad := [][]string{
+		// Escalation lists need the adaptive driver.
+		{"-model", "hardcore", "-n", "10", "-algo", "chromatic,metropolis"},
+		// Unknown stage inside the list.
+		{"-model", "hardcore", "-n", "10", "-algo", "chromatic,nosuch", "-converge", "rhat<1.1"},
+		// Unparseable criterion.
+		{"-model", "hardcore", "-n", "10", "-algo", "chromatic", "-converge", "ess>100"},
+		// Explicit -chains 1 stays a cross-chain error even with -converge.
+		{"-model", "hardcore", "-n", "10", "-algo", "chromatic", "-chains", "1", "-converge", "rhat<1.1"},
+		// The -sampler path has no driver.
+		{"-model", "hardcore", "-n", "10", "-sampler", "jvv", "-converge", "rhat<1.1"},
+		{"-model", "hardcore", "-n", "10", "-sampler", "jvv", "-min-ess", "10"},
 	}
 	for _, args := range bad {
 		if err := run(args, devnull); err == nil {

@@ -9,7 +9,10 @@
 // exact sampler, and the strong-spatial-mixing characterization). The
 // performance substrate — the compact state lattice, the compiled
 // factor-table engine with its fused sweep-plan batch kernel, and the
-// batched multi-chain sampler it drives — is documented in README.md.
+// batched multi-chain sampler it drives — is documented in README.md,
+// as is the adaptive run controller (internal/run) that drives any
+// batched dynamic to R̂/ESS convergence targets with acceptance-rate
+// escalation between dynamics.
 // Instances are declared through the versioned JSON schema of
 // internal/spec (loader, encoder, and the curated corpus under
 // testdata/corpus/), which every entry point compiles through one

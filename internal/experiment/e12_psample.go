@@ -8,6 +8,7 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/run"
 	"repro/internal/sampler"
 )
 
@@ -118,6 +119,33 @@ func E12RoundsToMix(n int, lambda float64, budgets []int, trials int, seed int64
 			t.Notes = append(t.Notes, fmt.Sprintf("%s reaches the envelope at sweep-equivalent budget %d", name, b))
 		} else {
 			t.Notes = append(t.Notes, fmt.Sprintf("%s stays above the envelope within the tested budgets", name))
+		}
+	}
+	// The adaptive driver's view of the same race: rounds until the
+	// cross-chain stop rule (worst-vertex R̂ < 1.05) fires, per batched
+	// dynamic. The TV columns above need the brute-force truth; this
+	// stopping time is what a practitioner gets without it.
+	for di, name := range e12Dynamics {
+		if name == "glauber" {
+			t.Notes = append(t.Notes, "glauber: sequential baseline, no batched engine — the adaptive driver does not apply")
+			continue
+		}
+		rep, _, err := run.One(in, name, dist.StreamSeed(seed, int64(1000+di)), run.Policy{
+			Chains:     16,
+			Rhat:       1.05,
+			MaxSweeps:  4096,
+			CheckEvery: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E12: driver %s: %w", name, err)
+		}
+		if rep.Converged {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s stops at R̂ < 1.05 after sweep-equivalent budget %d (%d native rounds, 16 chains)",
+				name, rep.Sweeps, rep.Stages[0].Rounds))
+		} else {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s misses R̂ < 1.05 within %d sweep-equivalents (16 chains)", name, rep.Sweeps))
 		}
 	}
 	return t, nil

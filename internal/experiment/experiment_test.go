@@ -369,4 +369,16 @@ func TestE12ParallelDynamicsMix(t *testing.T) {
 	if got := cell(t, tab, len(tab.Rows)-1, 1); got > 0.15 {
 		t.Errorf("glauber final TV %v", got)
 	}
+	// The adaptive-driver notes: a stopping time per batched dynamic and
+	// the not-applicable marker for the sequential baseline.
+	joined := strings.Join(tab.Notes, "\n")
+	for _, name := range []string{"luby", "metropolis", "chromatic"} {
+		want := name + " stops at R̂ < 1.05"
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	if !strings.Contains(joined, "glauber: sequential baseline") {
+		t.Errorf("notes missing the glauber not-applicable marker:\n%s", joined)
+	}
 }

@@ -149,6 +149,12 @@ func (s *BatchLubyGlauber) Rounds() int { return s.rounds }
 // rounds).
 func (s *BatchLubyGlauber) Updates() int64 { return s.updates }
 
+// SetWorkers overrides the worker count (nonpositive restores the
+// CPU-scaled default). Per-worker RNG streams mean trajectories depend on
+// the worker count; callers wanting machine-independent reproducibility
+// (the adaptive run driver) pin it.
+func (s *BatchLubyGlauber) SetWorkers(w int) { s.Workers = w }
+
 // ensureWorkers sizes the per-worker state for w workers and chain
 // groups of cb.
 func (s *BatchLubyGlauber) ensureWorkers(w, cb int) {

@@ -158,6 +158,12 @@ func (s *BatchLocalMetropolis) Rounds() int { return s.rounds }
 // adopted).
 func (s *BatchLocalMetropolis) Accepts() int64 { return s.accepts }
 
+// SetWorkers overrides the worker count (nonpositive restores the
+// CPU-scaled default). Per-worker RNG streams mean trajectories depend on
+// the worker count; callers wanting machine-independent reproducibility
+// (the adaptive run driver) pin it.
+func (s *BatchLocalMetropolis) SetWorkers(w int) { s.Workers = w }
+
 // ensureWorkers sizes the per-worker state for w workers and chain
 // groups of cb.
 func (s *BatchLocalMetropolis) ensureWorkers(w, cb int) {

@@ -58,6 +58,7 @@ type Batch struct {
 	// classes is the cached chromatic stage schedule of the rules.
 	classes [][]int
 	sweeps  int
+	updates int64
 	workers []batchWorker
 	seed    int64
 	// checked records that the lattice passed its CheckAssigned preflight;
@@ -102,6 +103,7 @@ func (b *Batch) Reset(seed int64) error {
 	b.lat = lat
 	b.seed = seed
 	b.sweeps = 0
+	b.updates = 0
 	b.workers = b.workers[:0]
 	b.checked = false
 	return nil
@@ -116,6 +118,18 @@ func (b *Batch) Classes() [][]int { return b.classes }
 
 // Rounds returns the number of full sweeps executed since the last Reset.
 func (b *Batch) Rounds() int { return b.sweeps }
+
+// Updates returns the total number of single-site heat-bath updates
+// executed across all chains since the last Reset (every scheduled update
+// is unconditional — the chromatic schedule has no rejection, so this is
+// the update-rate counter of the adaptive driver).
+func (b *Batch) Updates() int64 { return b.updates }
+
+// SetWorkers overrides the worker count (nonpositive restores the
+// CPU-scaled default). Per-worker RNG streams mean trajectories depend on
+// the worker count; callers wanting machine-independent reproducibility
+// (the adaptive driver's determinism contract) pin it.
+func (b *Batch) SetWorkers(w int) { b.Workers = w }
 
 // Chain returns a copy of chain c's current configuration.
 func (b *Batch) Chain(c int) dist.Config {
@@ -208,5 +222,10 @@ func (b *Batch) Run(sweeps int) error {
 		return err
 	}
 	b.sweeps += sweeps
+	classTotal := 0
+	for _, class := range b.classes {
+		classTotal += len(class)
+	}
+	b.updates += int64(sweeps) * int64(classTotal) * int64(B)
 	return nil
 }

@@ -11,9 +11,10 @@ package sampler
 // conditionals coincide with the sequential ones and the target Gibbs
 // distribution is exactly stationary (pinned by the transition-matrix
 // tests) — but the selection overhead and the per-round selection loss are
-// gone. The trade against LubyGlauber is symmetry: the schedule is not a
-// LOCAL-model algorithm (the coloring is a global precomputation), which
-// is why it lives here with the engines rather than in the LOCAL harness.
+// gone. The trade against LubyGlauber is symmetry: the coloring is a
+// global precomputation, so on the LOCAL model the schedule only runs
+// with the coloring distributed as node input
+// (psample.ChromaticGlauberLOCAL) — χ rounds per sweep instead of one.
 
 import (
 	"repro/internal/dist"

@@ -50,10 +50,11 @@ func TestNewMultiBuildsEveryBatchedDynamic(t *testing.T) {
 	const chains = 4
 	for _, name := range MultiNames() {
 		t.Run(name, func(t *testing.T) {
-			m, err := NewMulti(name, in, chains, 11)
+			s, err := Create(name, in, Options{Chains: chains, Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}
+			m := s.(MultiChain)
 			if m.Chains() != chains {
 				t.Fatalf("Chains() = %d, want %d", m.Chains(), chains)
 			}
@@ -80,10 +81,10 @@ func TestNewMultiBuildsEveryBatchedDynamic(t *testing.T) {
 // names the dynamics that have one.
 func TestNewMultiErrors(t *testing.T) {
 	in := multiTestInstance(t)
-	if _, err := NewMulti("nosuch", in, 4, 1); err == nil {
+	if _, err := Create("nosuch", in, Options{Chains: 4, Seed: 1}); err == nil {
 		t.Error("unknown dynamic accepted")
 	}
-	_, err := NewMulti("glauber", in, 4, 1)
+	_, err := Create("glauber", in, Options{Chains: 4, Seed: 1})
 	if err == nil {
 		t.Fatal("sequential baseline accepted as a multi-chain dynamic")
 	}
@@ -101,10 +102,11 @@ func TestRhatOnBatchedEngines(t *testing.T) {
 	in := multiTestInstance(t)
 	for _, name := range []string{"luby", "metropolis"} {
 		t.Run(name, func(t *testing.T) {
-			m, err := NewMulti(name, in, 8, 23)
+			s, err := Create(name, in, Options{Chains: 8, Seed: 23})
 			if err != nil {
 				t.Fatal(err)
 			}
+			m := s.(MultiChain)
 			r, err := NewRhat(m)
 			if err != nil {
 				t.Fatal(err)

@@ -7,7 +7,7 @@
 // Before it existed, every consumer (experiments, cmd/lsample, the
 // benchmarks) reached each dynamic through its own ad-hoc entry point and
 // its own switch statement; they now select dynamics by name through
-// Lookup/New, and per-dynamic knowledge (how many rounds make one
+// Lookup/Create, and per-dynamic knowledge (how many rounds make one
 // "sweep-equivalent") lives in the registry entry instead of being
 // re-derived at every call site.
 //
@@ -137,9 +137,8 @@ type Options struct {
 }
 
 // Create constructs the named dynamic on the instance. It is the one
-// creation path consumers (cmd/lsample, the experiments, the sampling
-// service) call; the historical New/NewMulti pair are thin wrappers kept
-// for compatibility.
+// creation path consumers (cmd/lsample, the experiments, the adaptive run
+// driver, the sampling service) call.
 func Create(name string, in *gibbs.Instance, o Options) (Sampler, error) {
 	info, ok := Lookup(name)
 	if !ok {
@@ -152,32 +151,6 @@ func Create(name string, in *gibbs.Instance, o Options) (Sampler, error) {
 		return nil, fmt.Errorf("sampler: dynamic %q has no batched multi-chain form (have %v)", name, MultiNames())
 	}
 	return info.NewBatch(in, o.Chains, o.Seed)
-}
-
-// New constructs the named dynamic's single-chain engine.
-//
-// Deprecated: use Create with a zero Options.Chains.
-func New(name string, in *gibbs.Instance, seed int64) (Sampler, error) {
-	return Create(name, in, Options{Seed: seed})
-}
-
-// NewMulti constructs the named dynamic's batched multi-chain form with
-// the given number of chains. Dynamics without a batched form report a
-// descriptive error naming the ones that have it.
-//
-// Deprecated: use Create with a nonzero Options.Chains and assert
-// MultiChain. (Unlike Create, NewMulti hands chains = 0 to the batched
-// constructor so its validation rejects it — Create's 0 means
-// single-chain.)
-func NewMulti(name string, in *gibbs.Instance, chains int, seed int64) (MultiChain, error) {
-	info, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("sampler: unknown dynamic %q (have %v)", name, Names())
-	}
-	if info.NewBatch == nil {
-		return nil, fmt.Errorf("sampler: dynamic %q has no batched multi-chain form (have %v)", name, MultiNames())
-	}
-	return info.NewBatch(in, chains, seed)
 }
 
 // MultiNames returns the registered dynamics with a batched multi-chain

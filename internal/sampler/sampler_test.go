@@ -46,7 +46,7 @@ func TestNewUnknownDynamic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New("nosuch", in, 1); err == nil {
+	if _, err := Create("nosuch", in, Options{Seed: 1}); err == nil {
 		t.Error("unknown dynamic accepted")
 	}
 	if _, err := SweepRounds("nosuch", in); err == nil {
@@ -92,22 +92,23 @@ func TestCreateSelectsEngine(t *testing.T) {
 		if m.Chains() != 4 {
 			t.Errorf("Create(%q).Chains() = %d, want 4", name, m.Chains())
 		}
-		// The two creation paths must build equivalent engines: same
-		// chain-0 trajectory for the same seed.
-		legacy, err := NewMulti(name, in, 4, 5)
+		// Construction is a pure function of (name, chains, seed): a second
+		// engine must follow the same chain-0 trajectory.
+		again, err := Create(name, in, Options{Chains: 4, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
+		twin := again.(MultiChain)
 		if err := m.Run(5); err != nil {
 			t.Fatal(err)
 		}
-		if err := legacy.Run(5); err != nil {
+		if err := twin.Run(5); err != nil {
 			t.Fatal(err)
 		}
-		got, want := m.Chain(0), legacy.Chain(0)
+		got, want := m.Chain(0), twin.Chain(0)
 		for v := range got {
 			if got[v] != want[v] {
-				t.Errorf("Create and NewMulti diverge for %q at vertex %d", name, v)
+				t.Errorf("two Create calls diverge for %q at vertex %d", name, v)
 				break
 			}
 		}
@@ -156,7 +157,7 @@ func TestEveryDynamicMatchesExact(t *testing.T) {
 	const trials = 4000
 	for _, name := range Names() {
 		t.Run(name, func(t *testing.T) {
-			s, err := New(name, in, 1)
+			s, err := Create(name, in, Options{Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -296,6 +296,30 @@ func (l *Lattice) CheckAssigned() error {
 	return nil
 }
 
+// CopyFrom overwrites every cell with the corresponding cell of src. The
+// lattices must agree on shape (vertices, chains, alphabet); the cell
+// representations may differ — it is the handoff primitive between engines
+// (the adaptive run driver carries the chains of one dynamic into the
+// next), and two engines over one instance always agree on shape even if
+// one stores wide cells.
+func (l *Lattice) CopyFrom(src *Lattice) error {
+	if l.n != src.n || l.chains != src.chains || l.q != src.q {
+		return fmt.Errorf("state: CopyFrom shape mismatch: dst n=%d chains=%d q=%d, src n=%d chains=%d q=%d",
+			l.n, l.chains, l.q, src.n, src.chains, src.q)
+	}
+	switch {
+	case l.u8 != nil && src.u8 != nil:
+		copy(l.u8, src.u8)
+	case l.wide != nil && src.wide != nil:
+		copy(l.wide, src.wide)
+	default:
+		for i := 0; i < l.n*l.chains; i++ {
+			l.Set(i/l.chains, i%l.chains, src.Get(i/l.chains, i%l.chains))
+		}
+	}
+	return nil
+}
+
 // Clone returns an independent copy of the lattice.
 func (l *Lattice) Clone() *Lattice {
 	out := *l
