@@ -26,6 +26,7 @@ import (
 	"repro/internal/psample"
 	"repro/internal/run"
 	"repro/internal/sampler"
+	"repro/internal/state"
 )
 
 // reportTable runs an experiment builder once per iteration and surfaces a
@@ -370,6 +371,44 @@ func BenchmarkCondWeights(b *testing.B) {
 	})
 }
 
+// BenchmarkCondLookup isolates the single-chain heat-bath update: the
+// conditional-CDF cache lookup (lut) against the sweep-plan walk it
+// replaces (plan). Both run the same glauber.HeatBathX update — only the
+// engine's cache mode differs.
+func BenchmarkCondLookup(b *testing.B) {
+	g := graph.Torus(16, 16)
+	spec, err := model.Hardcore(g, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := spec.Compiled()
+	cfg, err := eng.GreedyCompletion(dist.NewConfig(g.N()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := func(b *testing.B) {
+		lat, err := state.Pack(g.N(), spec.Q, []dist.Config{cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cond := make([]float64, spec.Q)
+		rng := dist.NewXoshiro(7, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := glauber.HeatBathX(eng, lat, 0, i%g.N(), cond, &rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("lut", step)
+	b.Run("plan", func(b *testing.B) {
+		eng.SetCondMode(gibbs.CondOff)
+		defer eng.SetCondMode(gibbs.CondAuto)
+		step(b)
+	})
+}
+
 // BenchmarkE12RoundsToMix regenerates E12 (LubyGlauber / LocalMetropolis
 // vs sequential Glauber); metric is the LocalMetropolis TV at the largest
 // sweep-equivalent budget.
@@ -449,30 +488,46 @@ func BenchmarkSamplerSweep(b *testing.B) {
 // across the B chains of a vertex block.
 func BenchmarkBatchSweep(b *testing.B) {
 	_, rules := benchSamplerSetup(b)
-	for _, B := range []int{1, 8, 32, 128, 512} {
-		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
-			bt, err := sampler.NewBatch(rules, B, 11)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Warm up once so the lazily built sweep plan, the worker pool,
-			// and the lattice preflight land outside the timed region — on a
-			// 1x CI run the first subtest would otherwise absorb the whole
-			// plan compilation.
+	runSweep := func(b *testing.B, B int) {
+		bt, err := sampler.NewBatch(rules, B, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm up once so the lazily built sweep plan, the conditional-CDF
+		// cache, the worker pool, and the lattice preflight land outside the
+		// timed region — on a 1x CI run the first subtest would otherwise
+		// absorb the whole plan compilation.
+		if err := bt.Run(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
 			if err := bt.Run(1); err != nil {
 				b.Fatal(err)
 			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := bt.Run(1); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/chain-sweep")
-		})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/chain-sweep")
 	}
+	for _, B := range []int{1, 8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) { runSweep(b, B) })
+	}
+	// The cond=off / cond=on pair isolates the conditional-CDF cache at the
+	// headline width: off forces every draw back onto the sweep-plan walk,
+	// on uses the cache and reports its footprint as cond-bytes (per-chain
+	// samples are bit-identical either way).
+	eng := rules.Engine()
+	b.Run("cond=off/B=32", func(b *testing.B) {
+		eng.SetCondMode(gibbs.CondOff)
+		defer eng.SetCondMode(gibbs.CondAuto)
+		runSweep(b, 32)
+	})
+	b.Run("cond=on/B=32", func(b *testing.B) {
+		runSweep(b, 32)
+		st := eng.CondStats()
+		b.ReportMetric(float64(st.Bytes), "cond-bytes")
+	})
 }
 
 // batchRound times one round per iteration of a single- or multi-chain

@@ -38,6 +38,17 @@
 // run. Allocation counts are far more stable than wall time on a shared
 // runner, so this catches a hot loop that silently starts allocating even
 // when the ns/op noise would hide it.
+//
+// With -regen, the tool stops reading stdin and instead regenerates the
+// committed baseline itself, encoding the protocol every BENCH_main.json
+// refresh has followed: run the full suite three times at 100ms per
+// benchmark and keep the per-benchmark, per-metric median (a median of
+// three beats one lucky run on a noisy runner; the odd count means the
+// median is always a really-measured value):
+//
+//	go build ./cmd/benchjson && ./benchjson -regen -o BENCH_main.json
+//
+// Without -o the merged report goes to stdout like the streaming mode.
 package main
 
 import (
@@ -47,10 +58,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// The baseline regeneration protocol: three full suite runs at 100ms per
+// benchmark, merged per benchmark and per metric by median.
+const (
+	regenRuns      = 3
+	regenBenchtime = "100ms"
 )
 
 // event is the subset of the test2json stream the tool consumes.
@@ -86,9 +105,18 @@ func main() {
 	warn := flag.Float64("warn", 0, "flag ns/op regressions above this percentage vs the baseline (0 = off; never fails the run)")
 	failPct := flag.Float64("fail", 0, "exit nonzero when an allowlisted benchmark (see -faillist) regresses ns/op above this percentage vs the baseline (0 = off)")
 	failAllocPct := flag.Float64("failallocs", 0, "exit nonzero when an allowlisted benchmark regresses allocs/op above this percentage vs the baseline (any growth from a zero-alloc baseline gates; 0 = off)")
-	faillist := flag.String("faillist", "GlauberStep,CondWeights,BatchSweep,BatchLuby,BatchMetropolis,DriverConverge",
+	faillist := flag.String("faillist", "GlauberStep,CondWeights,CondLookup,BatchSweep,BatchLuby,BatchMetropolis,DriverConverge",
 		"comma-separated benchmark-name substrings gated by -fail and -failallocs; others stay warn-only")
+	regen := flag.Bool("regen", false, "regenerate the baseline: run the suite "+strconv.Itoa(regenRuns)+"× at -benchtime="+regenBenchtime+" and write the per-metric median report (ignores stdin)")
+	outPath := flag.String("o", "", "with -regen: write the merged report to this file instead of stdout")
 	flag.Parse()
+	if *regen {
+		if err := regenerate(*outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	report, failed, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -119,6 +147,118 @@ func main() {
 	if len(gated) > 0 {
 		os.Exit(1)
 	}
+}
+
+// regenerate runs the baseline protocol: regenRuns full suite runs at
+// regenBenchtime each, merged by medianReport and written to path (stdout
+// when path is empty). Each run's result lines are echoed to stderr so the
+// regeneration stays observable; a failing package aborts the whole
+// regeneration — a baseline must never be built from a partial run.
+func regenerate(path string) error {
+	reports := make([]*Report, 0, regenRuns)
+	for i := 1; i <= regenRuns; i++ {
+		fmt.Fprintf(os.Stderr, "benchjson: regen run %d/%d (go test -bench=. -benchtime=%s)\n", i, regenRuns, regenBenchtime)
+		cmd := exec.Command("go", "test", "-json", "-run=NONE", "-bench=.",
+			"-benchtime="+regenBenchtime, "-benchmem", "./...")
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		report, failed, perr := parse(stdout, os.Stderr)
+		werr := cmd.Wait()
+		if perr != nil {
+			return perr
+		}
+		if failed || werr != nil {
+			return fmt.Errorf("regen run %d/%d failed (go test: %v)", i, regenRuns, werr)
+		}
+		reports = append(reports, report)
+	}
+	merged := medianReport(reports)
+	out := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(merged)
+}
+
+// medianReport merges the runs per benchmark: each metric becomes the
+// median of the values the runs reported for it, and the iteration count
+// likewise. A benchmark missing from some runs keeps the median of the
+// runs that did report it, so a flaky sub-benchmark cannot silently drop
+// a metric from the baseline.
+func medianReport(runs []*Report) *Report {
+	type acc struct {
+		iters   []int64
+		metrics map[string][]float64
+	}
+	key := func(r Result) string { return r.Package + " " + r.Name }
+	byKey := make(map[string]*acc)
+	protos := make(map[string]Result)
+	var order []string
+	for _, run := range runs {
+		for _, r := range run.Benchmarks {
+			k := key(r)
+			a, ok := byKey[k]
+			if !ok {
+				a = &acc{metrics: make(map[string][]float64)}
+				byKey[k] = a
+				protos[k] = r
+				order = append(order, k)
+			}
+			a.iters = append(a.iters, r.Iterations)
+			for unit, v := range r.Metrics {
+				a.metrics[unit] = append(a.metrics[unit], v)
+			}
+		}
+	}
+	sort.Strings(order)
+	merged := &Report{Benchmarks: make([]Result, 0, len(order))}
+	for _, k := range order {
+		a, p := byKey[k], protos[k]
+		res := Result{
+			Package:    p.Package,
+			Name:       p.Name,
+			Iterations: medianInt64(a.iters),
+			Metrics:    make(map[string]float64, len(a.metrics)),
+		}
+		for unit, vs := range a.metrics {
+			res.Metrics[unit] = medianFloat64(vs)
+		}
+		merged.Benchmarks = append(merged.Benchmarks, res)
+	}
+	return merged
+}
+
+func medianFloat64(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
+}
+
+func medianInt64(vs []int64) int64 {
+	s := append([]int64(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
 }
 
 // splitList parses a comma-separated allowlist, dropping empty entries so

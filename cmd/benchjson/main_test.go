@@ -318,3 +318,47 @@ func TestParseSplitBenchLine(t *testing.T) {
 		t.Error("interleaved package line lost")
 	}
 }
+
+// TestMedianReport pins the -regen merge: per-benchmark per-metric medians
+// across runs, benchmarks missing from some runs kept at the median of the
+// runs that reported them, output sorted by package and name.
+func TestMedianReport(t *testing.T) {
+	mk := func(name string, ns float64, iters int64, extra map[string]float64) Result {
+		m := map[string]float64{"ns/op": ns}
+		for k, v := range extra {
+			m[k] = v
+		}
+		return Result{Package: "repro", Name: name, Iterations: iters, Metrics: m}
+	}
+	runs := []*Report{
+		{Benchmarks: []Result{
+			mk("BenchmarkB", 300, 10, nil),
+			mk("BenchmarkA", 100, 50, map[string]float64{"cond-bytes": 1024}),
+		}},
+		{Benchmarks: []Result{
+			mk("BenchmarkA", 120, 40, map[string]float64{"cond-bytes": 1024}),
+		}},
+		{Benchmarks: []Result{
+			mk("BenchmarkA", 90, 70, map[string]float64{"cond-bytes": 1024}),
+			mk("BenchmarkB", 500, 20, nil),
+		}},
+	}
+	got := medianReport(runs)
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("merged %d benchmarks, want 2", len(got.Benchmarks))
+	}
+	a, b := got.Benchmarks[0], got.Benchmarks[1]
+	if a.Name != "BenchmarkA" || b.Name != "BenchmarkB" {
+		t.Fatalf("order %q, %q", a.Name, b.Name)
+	}
+	if a.Metrics["ns/op"] != 100 || a.Iterations != 50 {
+		t.Errorf("A median = %v ns/op, %d iters; want 100, 50", a.Metrics["ns/op"], a.Iterations)
+	}
+	if a.Metrics["cond-bytes"] != 1024 {
+		t.Errorf("A cond-bytes = %v, want 1024", a.Metrics["cond-bytes"])
+	}
+	// B appears in two runs: even count → midpoint.
+	if b.Metrics["ns/op"] != 400 || b.Iterations != 15 {
+		t.Errorf("B median = %v ns/op, %d iters; want 400, 15", b.Metrics["ns/op"], b.Iterations)
+	}
+}

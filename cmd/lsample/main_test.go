@@ -376,3 +376,51 @@ func TestRunSurfacesDomainError(t *testing.T) {
 		t.Errorf("negative -chains returned %v, want *state.DomainError", err)
 	}
 }
+
+// TestRunCondFlag pins the -cond ablation flag: every mode produces the
+// same sample stream (the cache is an equivalence-preserving speedup), -v
+// prefixes the run with the cache coverage line, and unknown modes are
+// refused with the fix-up message.
+func TestRunCondFlag(t *testing.T) {
+	dir := t.TempDir()
+	capture := func(args ...string) string {
+		t.Helper()
+		out, err := os.CreateTemp(dir, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		if err := run(args, out); err != nil {
+			t.Fatalf("run(%v) = %v", args, err)
+		}
+		got, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(got)
+	}
+	base := []string{"-model", "hardcore", "-graph", "torus", "-n", "4", "-algo", "chromatic", "-chains", "6", "-sweeps", "8", "-seed", "9"}
+	auto := capture(base...)
+	for _, mode := range []string{"on", "off"} {
+		if got := capture(append(append([]string{}, base...), "-cond", mode)...); got != auto {
+			t.Errorf("-cond %s changed the sample stream:\nauto:\n%s\n%s:\n%s", mode, auto, mode, got)
+		}
+	}
+	verbose := capture(append(append([]string{}, base...), "-v")...)
+	if !strings.HasPrefix(verbose, "cond-cache: mode=auto cached=16/16 vertices bytes=") {
+		t.Errorf("-v coverage line missing or wrong:\n%s", verbose)
+	}
+	offVerbose := capture(append(append([]string{}, base...), "-cond", "off", "-v")...)
+	if !strings.Contains(offVerbose, "cond-cache: mode=off") {
+		t.Errorf("-cond off -v line missing:\n%s", offVerbose)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	err = run([]string{"-n", "6", "-cond", "sometimes"}, devnull)
+	if err == nil || !strings.Contains(err.Error(), "auto | on | off") {
+		t.Errorf("bad -cond mode returned %v, want the fix-up message", err)
+	}
+}

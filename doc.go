@@ -8,7 +8,8 @@
 // sampling/inference equivalence, the boosting lemma, the distributed JVV
 // exact sampler, and the strong-spatial-mixing characterization). The
 // performance substrate — the compact state lattice, the compiled
-// factor-table engine with its fused sweep-plan batch kernel, and the
+// factor-table engine with its fused sweep-plan batch kernel plus the
+// per-vertex conditional-CDF cache layered on the plans, and the
 // batched multi-chain sampler it drives — is documented in README.md,
 // as is the adaptive run controller (internal/run) that drives any
 // batched dynamic to R̂/ESS convergence targets with acceptance-rate

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dist"
 )
@@ -45,6 +46,13 @@ type Compiled struct {
 	// that never batch.
 	planOnce sync.Once
 	plan     *SweepPlan
+
+	// cond is the conditional-CDF cache layered on the plan (see cond.go),
+	// likewise lazy and immutable; condMode gates its use (CondAuto zero
+	// value).
+	condOnce sync.Once
+	cond     *CondCache
+	condMode atomic.Int32
 }
 
 // cfactor is one compiled factor: either a dense table (fast path) or the

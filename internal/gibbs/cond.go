@@ -1,0 +1,555 @@
+package gibbs
+
+// cond.go: the conditional-CDF cache — per-vertex lookup tables that
+// replace the sweep-plan walk of the fused batch kernels with a single
+// indexed load per chain. A vertex's heat-bath conditional depends only on
+// its neighborhood (the distinct non-v vertices across its factor scopes),
+// so when q^deg(v) is small every weight row the plan walk can ever
+// produce is enumerable up front: the cache stores one cumulative weight
+// row per big-endian mixed-radix neighborhood code, built by running the
+// existing planWeightRow per code so each row's partial sums are
+// bit-identical (math.Float64bits) to the accumulation the plan path
+// performs at draw time. The hot loop for a cached vertex is: gather the
+// neighbor cells of the chain block into codes (one multiply-accumulate
+// per (neighbor, chain), a shift-or at q = 2), index the CDF row, and do
+// one branchless threshold draw per chain — no factor walk, no per-draw
+// validation, no weight buffer.
+//
+// Draw equivalence (the load-bearing argument): dist.sampleWalk returns
+// the first positive-weight symbol whose running total exceeds
+// u = Float64()·total, with rounding slack falling to the last positive
+// symbol. The stored row cum[x] = Σ_{j≤x} w[j] accumulates zeros too, but
+// adding 0.0 to a nonnegative float is the exact identity, so cum[x]
+// equals the walk's accumulator bitwise, and the first x with u < cum[x]
+// necessarily has w[x] > 0 (a zero-weight symbol repeats the previous
+// cumulative value, so any u below it was already caught). Overflow
+// (u lands at or past cum[q−1] through rounding) falls to the precomputed
+// last positive symbol. Every path consumes exactly one uniform per chain,
+// so the RNG streams — and therefore the engine-equivalence and B = 1
+// bit-reproducibility contracts of PRs 6–7 — are unchanged no matter
+// which vertices are cached.
+//
+// Rows whose plan weights are invalid (zero-mass, negative, NaN, or
+// infinite — reachable codes need not be feasible) are marked bad and
+// store the raw weight row instead of cumulative sums; a draw landing on
+// one rebuilds the plan path's exact error through rowError without
+// consuming a uniform, exactly like the plan kernels' validate-then-draw
+// order.
+//
+// The cache is built lazily and sync.Once-shared alongside Plan(), is
+// invalidation-free (the compiled engine is immutable), and reports its
+// footprint through CondStats for benchmarks and cmd/lsample.
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/dist"
+	"repro/internal/state"
+)
+
+// DefaultCondCap is the default per-vertex entry cap of the conditional-CDF
+// cache: a vertex is cacheable when q^deg(v) · q — one q-wide row per
+// neighborhood code — fits under it. It is the cache's analogue of
+// DefaultTableCap (see the shared powSize arithmetic in gibbs.go): the
+// table cap bounds one factor's assignment space, the cond cap bounds one
+// vertex's joint neighborhood space. Bounded-degree small-q models (the
+// whole corpus) sit far below both.
+const DefaultCondCap = 1 << 16
+
+// DefaultCondBytes is the default per-instance byte budget of the cache:
+// vertices are admitted greedily in vertex order until their rows, code
+// metadata, and neighbor lists would exceed it; the rest stay on the plan
+// walk. CondOn lifts this budget (the entry cap still applies per vertex).
+const DefaultCondBytes = 16 << 20
+
+// condEntryCap and condByteBudget are the live limits, overridable by
+// SetCondCapForTest.
+var (
+	condEntryCap   = DefaultCondCap
+	condByteBudget = int64(DefaultCondBytes)
+)
+
+// SetCondCapForTest overrides the per-vertex entry cap and the per-instance
+// byte budget used by subsequently built caches and returns a restore
+// function — the cache twin of state.SetCompactLimitForTest. It must not
+// run concurrently with cache builds; already-built caches are unaffected
+// (the cache is invalidation-free).
+func SetCondCapForTest(entries int, bytes int64) (restore func()) {
+	oldE, oldB := condEntryCap, condByteBudget
+	condEntryCap, condByteBudget = entries, bytes
+	return func() { condEntryCap, condByteBudget = oldE, oldB }
+}
+
+// CondMode selects whether the fused sampling kernels consult the
+// conditional-CDF cache.
+type CondMode int32
+
+const (
+	// CondAuto caches every vertex under DefaultCondCap entries, greedily
+	// in vertex order within the DefaultCondBytes instance budget — the
+	// default.
+	CondAuto CondMode = iota
+	// CondOn caches every vertex under the entry cap regardless of the
+	// instance byte budget.
+	CondOn
+	// CondOff disables the cache: every draw runs the plan walk.
+	CondOff
+)
+
+// SetCondMode sets the engine's cache mode. CondOff takes effect on the
+// next kernel call (subset kernels bound by BindVertexSubset keep the mode
+// they were bound with); CondAuto vs CondOn is read once when the cache is
+// first built, so set it before the first sampling call or Cond use.
+func (c *Compiled) SetCondMode(m CondMode) { c.condMode.Store(int32(m)) }
+
+// CondMode returns the engine's current cache mode.
+func (c *Compiled) CondMode() CondMode { return CondMode(c.condMode.Load()) }
+
+// condBad marks a neighborhood code whose weight row is invalid
+// (zero-mass or non-finite); its row slot stores the raw weights so the
+// fallback error is built from exactly the values the plan walk produces.
+const condBad = 0xFF
+
+// condVertex is one vertex's lookup table: rows holds ncodes = q^deg(v)
+// cumulative weight rows of q entries each, indexed by the big-endian
+// mixed-radix code over the ascending neighbor list, and meta holds each
+// code's last positive symbol (the rounding-slack target) or condBad.
+// rows == nil means the vertex is not cached.
+type condVertex struct {
+	nbrs []int32
+	rows []float64
+	meta []uint8
+}
+
+// CondCache is the conditional-CDF cache of a Compiled engine: one
+// condVertex per vertex, immutable after construction and safe for
+// concurrent use.
+type CondCache struct {
+	q      int
+	verts  []condVertex
+	cached int
+	bytes  int64
+}
+
+// CondStats summarizes a cache for footprint reporting: how many vertices
+// carry tables, out of how many, at what byte cost.
+type CondStats struct {
+	Cached int
+	Total  int
+	Bytes  int64
+}
+
+// Cond returns the engine's conditional-CDF cache, building it on first
+// call (which also builds the sweep plan). The build honors the mode,
+// entry cap, and byte budget in effect at that moment and is never
+// invalidated.
+func (c *Compiled) Cond() *CondCache {
+	c.condOnce.Do(func() { c.cond = buildCond(c, c.CondMode()) })
+	return c.cond
+}
+
+// CondStats reports the cache footprint, building the cache if needed.
+// Under CondOff nothing is cached and no build happens.
+func (c *Compiled) CondStats() CondStats {
+	if c.CondMode() == CondOff {
+		return CondStats{Total: c.n}
+	}
+	cc := c.Cond()
+	return CondStats{Cached: cc.cached, Total: c.n, Bytes: cc.bytes}
+}
+
+// condForSample returns the cache when the engine's mode enables it, nil
+// under CondOff — the per-call gate of the sampling kernels.
+func (c *Compiled) condForSample() *CondCache {
+	if c.CondMode() == CondOff {
+		return nil
+	}
+	return c.Cond()
+}
+
+// at returns vertex v's table, nil when v is not cached.
+func (cc *CondCache) at(v int) *condVertex {
+	cv := &cc.verts[v]
+	if cv.rows == nil {
+		return nil
+	}
+	return cv
+}
+
+// buildCond enumerates the eligible vertices' conditionals through the
+// sweep plan. Each code's row is produced by planWeightRow on a synthetic
+// single-chain cell array holding the decoded neighborhood — the exact
+// generic body both lattice widths run, so the stored partial sums match
+// the plan path's draw-time accumulation bitwise on compact and wide
+// lattices alike.
+func buildCond(c *Compiled, mode CondMode) *CondCache {
+	cc := &CondCache{q: c.q, verts: make([]condVertex, c.n)}
+	if c.q < 1 || c.q > condBad {
+		// meta bytes hold last positive symbols, so q must stay below the
+		// condBad sentinel; alphabets past 254 symbols are uncacheable.
+		return cc
+	}
+	p := c.Plan()
+	cells := make([]uint8, c.n)
+	w := make([]float64, c.q)
+	sc := NewBatchScratch(1)
+	for v := 0; v < c.n; v++ {
+		vp := &p.verts[v]
+		nbrs := condNeighbors(vp, v)
+		entries, ok := powSize(c.q, len(nbrs)+1, int64(condEntryCap))
+		if !ok {
+			continue
+		}
+		ncodes := int(entries) / c.q
+		sz := entries*8 + int64(ncodes) + int64(len(nbrs))*4
+		if mode != CondOn && cc.bytes+sz > condByteBudget {
+			continue
+		}
+		cv := &cc.verts[v]
+		cv.nbrs = nbrs
+		cv.rows = make([]float64, int(entries))
+		cv.meta = make([]uint8, ncodes)
+		for code := 0; code < ncodes; code++ {
+			rem := code
+			for j := len(nbrs) - 1; j >= 0; j-- {
+				cells[nbrs[j]] = uint8(rem % c.q)
+				rem /= c.q
+			}
+			planWeightRow(c.q, vp, cells, 1, 0, 1, w, sc)
+			row := cv.rows[code*c.q : (code+1)*c.q]
+			acc := 0.0
+			last := -1
+			ok := true
+			for x, wx := range w {
+				if !(wx >= 0) || math.IsInf(wx, 0) {
+					ok = false
+				}
+				if wx > 0 {
+					last = x
+				}
+				acc += wx
+				row[x] = acc
+			}
+			if !ok || !(acc > 0 && acc <= math.MaxFloat64) {
+				copy(row, w)
+				cv.meta[code] = condBad
+				continue
+			}
+			cv.meta[code] = uint8(last)
+		}
+		cc.bytes += sz
+		cc.cached++
+	}
+	return cc
+}
+
+// condNeighbors returns the distinct non-v vertices across all of the
+// vertex plan's op scopes, ascending — the variables the conditional
+// actually reads (unary ops and the prior are chain-independent).
+func condNeighbors(vp *vertexPlan, v int) []int32 {
+	var nbrs []int32
+	add := func(u int32) {
+		if int(u) == v || slices.Contains(nbrs, u) {
+			return
+		}
+		nbrs = append(nbrs, u)
+	}
+	for i := range vp.ops {
+		op := &vp.ops[i]
+		switch op.kind {
+		case opPair:
+			add(op.u)
+		case opGeneric:
+			for _, u := range op.scope {
+				add(u)
+			}
+		case opClosure:
+			for _, u := range op.f.scope {
+				add(u)
+			}
+		}
+	}
+	slices.Sort(nbrs)
+	return nbrs
+}
+
+// condGatherDense fills codes[0:c1−c0] with the neighborhood codes of the
+// dense chain block: big-endian mixed-radix accumulation, neighbor-outer
+// over contiguous cell rows, strength-reduced to a shift-or at q = 2 and a
+// constant-multiply at q = 3.
+func condGatherDense[T state.Cells](q int, nbrs []int32, cells []T, B, c0, c1 int, codes []int32) {
+	for i := range codes {
+		codes[i] = 0
+	}
+	switch q {
+	case 2:
+		for _, u := range nbrs {
+			nrow := cells[int(u)*B+c0 : int(u)*B+c1]
+			for i, x := range nrow {
+				codes[i] = codes[i]<<1 | int32(x)
+			}
+		}
+	case 3:
+		for _, u := range nbrs {
+			nrow := cells[int(u)*B+c0 : int(u)*B+c1]
+			for i, x := range nrow {
+				codes[i] = codes[i]*3 + int32(x)
+			}
+		}
+	default:
+		q32 := int32(q)
+		for _, u := range nbrs {
+			nrow := cells[int(u)*B+c0 : int(u)*B+c1]
+			for i, x := range nrow {
+				codes[i] = codes[i]*q32 + int32(x)
+			}
+		}
+	}
+}
+
+// condGatherSubset is condGatherDense over an explicit chain-index list.
+func condGatherSubset[T state.Cells](q int, nbrs []int32, cells []T, B int, chains []int32, codes []int32) {
+	for i := range codes {
+		codes[i] = 0
+	}
+	switch q {
+	case 2:
+		for _, u := range nbrs {
+			ubase := int(u) * B
+			for i, ch := range chains {
+				codes[i] = codes[i]<<1 | int32(cells[ubase+int(ch)])
+			}
+		}
+	case 3:
+		for _, u := range nbrs {
+			ubase := int(u) * B
+			for i, ch := range chains {
+				codes[i] = codes[i]*3 + int32(cells[ubase+int(ch)])
+			}
+		}
+	default:
+		q32 := int32(q)
+		for _, u := range nbrs {
+			ubase := int(u) * B
+			for i, ch := range chains {
+				codes[i] = codes[i]*q32 + int32(cells[ubase+int(ch)])
+			}
+		}
+	}
+}
+
+// condSampleDense is the cached twin of sampleVertexCells: codes for the
+// chain block (into the sc.base scratch the plan walk would otherwise
+// use), then one threshold draw per chain against the indexed cumulative
+// row. A bad code surfaces the plan path's exact rowError before its
+// chain's uniform is drawn.
+func condSampleDense[T state.Cells](q int, cv *condVertex, cells []T, B, v, c0, c1 int, sc *BatchScratch, rng *dist.Xoshiro) error {
+	nb := c1 - c0
+	if nb == 1 {
+		// Single-chain block (B = 1 engines, ragged tails): the code is a
+		// scalar accumulation — no scratch row, no per-neighbor slicing.
+		code := 0
+		for _, u := range cv.nbrs {
+			code = code*q + int(cells[int(u)*B+c0])
+		}
+		m := cv.meta[code]
+		row := cv.rows[code*q : (code+1)*q]
+		if m == condBad {
+			return rowError(row, v, c0)
+		}
+		cells[v*B+c0] = T(CondDrawCum(row, int(m), rng.Float64()))
+		return nil
+	}
+	codes := sc.base[:nb]
+	condGatherDense(q, cv.nbrs, cells, B, c0, c1, codes)
+	rows, meta := cv.rows, cv.meta
+	out := cells[v*B+c0 : v*B+c1]
+	switch q {
+	case 2:
+		for i := range out {
+			code := codes[i]
+			m := meta[code]
+			if m == condBad {
+				return rowError(rows[2*code:2*code+2], v, c0+i)
+			}
+			cum0, total := rows[2*code], rows[2*code+1]
+			// Branchless select, exactly the q = 2 plan draw: the symbol is
+			// 1 iff u clears cum0 and symbol 1 carries weight (m is the
+			// last positive symbol, 0 or 1).
+			u := rng.Float64() * total
+			var ge uint8
+			if u >= cum0 {
+				ge = 1
+			}
+			out[i] = T(ge & m)
+		}
+	case 3:
+		for i := range out {
+			code := codes[i]
+			m := meta[code]
+			if m == condBad {
+				return rowError(rows[3*code:3*code+3], v, c0+i)
+			}
+			cum0, cum1, total := rows[3*code], rows[3*code+1], rows[3*code+2]
+			u := rng.Float64() * total
+			var x T
+			switch {
+			case u < cum0:
+				x = 0
+			case u < cum1:
+				x = 1
+			default:
+				x = T(m)
+			}
+			out[i] = x
+		}
+	default:
+		for i := range out {
+			code := int(codes[i])
+			m := meta[code]
+			row := rows[code*q : (code+1)*q]
+			if m == condBad {
+				return rowError(row, v, c0+i)
+			}
+			u := rng.Float64() * row[q-1]
+			x := int(m)
+			for j, cum := range row {
+				if u < cum {
+					x = j
+					break
+				}
+			}
+			out[i] = T(x)
+		}
+	}
+	return nil
+}
+
+// condSampleSubset is condSampleDense over an explicit chain-index list —
+// the cached twin of sampleSubsetCells.
+func condSampleSubset[T state.Cells](q int, cv *condVertex, cells []T, B, v int, chains []int32, sc *BatchScratch, rng *dist.Xoshiro) error {
+	nb := len(chains)
+	codes := sc.base[:nb]
+	condGatherSubset(q, cv.nbrs, cells, B, chains, codes)
+	rows, meta := cv.rows, cv.meta
+	vbase := v * B
+	switch q {
+	case 2:
+		for i, ch := range chains {
+			code := codes[i]
+			m := meta[code]
+			if m == condBad {
+				return rowError(rows[2*code:2*code+2], v, int(ch))
+			}
+			cum0, total := rows[2*code], rows[2*code+1]
+			u := rng.Float64() * total
+			var ge uint8
+			if u >= cum0 {
+				ge = 1
+			}
+			cells[vbase+int(ch)] = T(ge & m)
+		}
+	case 3:
+		for i, ch := range chains {
+			code := codes[i]
+			m := meta[code]
+			if m == condBad {
+				return rowError(rows[3*code:3*code+3], v, int(ch))
+			}
+			cum0, cum1, total := rows[3*code], rows[3*code+1], rows[3*code+2]
+			u := rng.Float64() * total
+			var x T
+			switch {
+			case u < cum0:
+				x = 0
+			case u < cum1:
+				x = 1
+			default:
+				x = T(m)
+			}
+			cells[vbase+int(ch)] = x
+		}
+	default:
+		for i, ch := range chains {
+			code := int(codes[i])
+			m := meta[code]
+			row := rows[code*q : (code+1)*q]
+			if m == condBad {
+				return rowError(row, v, int(ch))
+			}
+			u := rng.Float64() * row[q-1]
+			x := int(m)
+			for j, cum := range row {
+				if u < cum {
+					x = j
+					break
+				}
+			}
+			cells[vbase+int(ch)] = T(x)
+		}
+	}
+	return nil
+}
+
+// CondLookupLattice returns the cached cumulative conditional row of
+// vertex v under chain `chain`'s neighborhood, with the row's last
+// positive symbol — the B = 1 entry point of the single-chain heat-bath
+// step. ok is false whenever the lookup cannot serve the call (mode off,
+// uncached vertex, out-of-range arguments, an unassigned neighbor cell,
+// or a bad row); the caller then falls back to CondWeightsLattice +
+// dist.SampleWeights, which reproduces the uncached path's exact
+// diagnostics without a uniform having been consumed.
+func (c *Compiled) CondLookupLattice(l *state.Lattice, chain, v int) (cum []float64, lastPos int, ok bool) {
+	if v < 0 || v >= c.n || l.N() < c.n || chain < 0 || chain >= l.Chains() {
+		return nil, 0, false
+	}
+	cc := c.condForSample()
+	if cc == nil {
+		return nil, 0, false
+	}
+	cv := cc.at(v)
+	if cv == nil {
+		return nil, 0, false
+	}
+	B, q := l.Chains(), c.q
+	code := 0
+	if u8 := l.Raw8(); u8 != nil {
+		for _, u := range cv.nbrs {
+			x := u8[int(u)*B+chain]
+			if !state.Valid(x, q) {
+				return nil, 0, false
+			}
+			code = code*q + int(x)
+		}
+	} else {
+		wide := l.RawWide()
+		for _, u := range cv.nbrs {
+			x := wide[int(u)*B+chain]
+			if !state.Valid(x, q) {
+				return nil, 0, false
+			}
+			code = code*q + int(x)
+		}
+	}
+	m := cv.meta[code]
+	if m == condBad {
+		return nil, 0, false
+	}
+	return cv.rows[code*q : (code+1)*q], int(m), true
+}
+
+// CondDrawCum maps one uniform u ∈ [0,1) through a cached cumulative row:
+// the first symbol whose cumulative weight exceeds u·total, rounding slack
+// falling to lastPos. For equal uniforms it returns exactly what
+// dist.SampleWeights returns on the raw weight row (see the equivalence
+// argument at the top of this file).
+func CondDrawCum(cum []float64, lastPos int, u float64) int {
+	t := u * cum[len(cum)-1]
+	for j, acc := range cum {
+		if t < acc {
+			return j
+		}
+	}
+	return lastPos
+}

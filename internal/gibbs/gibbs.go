@@ -15,6 +15,13 @@
 // reusable scratch, PartialWeightAt) used by every hot consumer: the
 // Glauber sampler, the brute-force referee, the JVV/boost/SSM reductions,
 // and the correlation-decay ball estimator. See compile.go.
+//
+// Two size caps govern how much the engine precomputes, sharing the
+// overflow-safe powSize arithmetic: DefaultTableCap bounds one factor's
+// dense table (q^|Scope| entries; larger factors stay on their Eval
+// closure), and DefaultCondCap bounds one vertex's conditional-CDF cache
+// (q^deg(v)·q entries; larger neighborhoods stay on the sweep-plan walk —
+// see cond.go, and SetCondCapForTest to shrink the caps in tests).
 package gibbs
 
 import (
@@ -162,14 +169,27 @@ func NewSpec(g *graph.Graph, q int, factors []Factor) (*Spec, error) {
 
 // tableSize returns q^s, erroring when the table would be absurdly large.
 func tableSize(q, s int) (int, error) {
-	size := 1
-	for j := 0; j < s; j++ {
-		if size > (1<<31)/q {
-			return 0, fmt.Errorf("table over q^%d assignments too large", s)
-		}
-		size *= q
+	size, ok := powSize(q, s, 1<<31)
+	if !ok {
+		return 0, fmt.Errorf("table over q^%d assignments too large", s)
 	}
-	return size, nil
+	return int(size), nil
+}
+
+// powSize returns q^s in int64, reporting whether it stays within lim —
+// the overflow-safe size arithmetic shared by the factor-table cap
+// (DefaultTableCap, via tableSize) and the conditional-CDF cache's
+// per-vertex entry cap (DefaultCondCap, see cond.go). The pre-multiply
+// guard is exact: it rejects iff the product would exceed lim.
+func powSize(q, s int, lim int64) (int64, bool) {
+	size := int64(1)
+	for j := 0; j < s; j++ {
+		if size > lim/int64(q) {
+			return 0, false
+		}
+		size *= int64(q)
+	}
+	return size, size <= lim
 }
 
 // tableEval synthesizes an Eval closure from a dense weight table using the

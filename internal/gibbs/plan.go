@@ -347,6 +347,9 @@ func (c *Compiled) CondWeightsBatchPlan(l *state.Lattice, v, c0, c1 int, buf []f
 // (c1−c0)·q entries and sc must come from NewBatchScratch; the lattice
 // must have passed CheckAssigned (the kernel writes only in-range
 // symbols, so one preflight covers any number of subsequent stages).
+// Vertices covered by the conditional-CDF cache (cond.go) skip the plan
+// walk for a per-code table lookup; weights, draws, uniforms consumed,
+// and errors are bit-identical on both paths.
 func (c *Compiled) SampleVertexBatch(l *state.Lattice, v, c0, c1 int, buf []float64, sc *BatchScratch, rng *dist.Xoshiro) error {
 	nb, err := c.planArgs(l, v, c0, c1, len(buf))
 	if err != nil {
@@ -354,6 +357,14 @@ func (c *Compiled) SampleVertexBatch(l *state.Lattice, v, c0, c1 int, buf []floa
 	}
 	if sc == nil || len(sc.base) < nb {
 		sc = NewBatchScratch(nb)
+	}
+	if cc := c.condForSample(); cc != nil {
+		if cv := cc.at(v); cv != nil {
+			if u8 := l.Raw8(); u8 != nil {
+				return condSampleDense(c.q, cv, u8, l.Chains(), v, c0, c1, sc, rng)
+			}
+			return condSampleDense(c.q, cv, l.RawWide(), l.Chains(), v, c0, c1, sc, rng)
+		}
 	}
 	w := buf[:nb*c.q]
 	vp := &c.Plan().verts[v]

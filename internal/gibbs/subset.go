@@ -60,6 +60,14 @@ func (c *Compiled) SampleVertexSubset(l *state.Lattice, v int, chains []int32, b
 	if sc == nil || len(sc.base) < nb {
 		sc = NewBatchScratch(nb)
 	}
+	if cc := c.condForSample(); cc != nil {
+		if cv := cc.at(v); cv != nil {
+			if u8 := l.Raw8(); u8 != nil {
+				return condSampleSubset(c.q, cv, u8, B, v, chains, sc, rng)
+			}
+			return condSampleSubset(c.q, cv, l.RawWide(), B, v, chains, sc, rng)
+		}
+	}
 	w := buf[:nb*c.q]
 	vp := &c.Plan().verts[v]
 	if u8 := l.Raw8(); u8 != nil {
@@ -91,10 +99,18 @@ func (c *Compiled) BindVertexSubset(l *state.Lattice) (VertexSubsetFn, error) {
 	B := l.Chains()
 	verts := c.Plan().verts
 	q := c.q
+	// The cache gate is hoisted with the rest of the validation: the bound
+	// kernel keeps the mode it was bound with.
+	cc := c.condForSample()
 	if u8 := l.Raw8(); u8 != nil {
 		return func(v int, chains []int32, buf []float64, sc *BatchScratch, rng *dist.Xoshiro) error {
 			if len(chains) == 0 {
 				return nil
+			}
+			if cc != nil {
+				if cv := cc.at(v); cv != nil {
+					return condSampleSubset(q, cv, u8, B, v, chains, sc, rng)
+				}
 			}
 			return sampleSubsetCells(q, &verts[v], u8, B, v, chains, buf, sc, rng)
 		}, nil
@@ -103,6 +119,11 @@ func (c *Compiled) BindVertexSubset(l *state.Lattice) (VertexSubsetFn, error) {
 	return func(v int, chains []int32, buf []float64, sc *BatchScratch, rng *dist.Xoshiro) error {
 		if len(chains) == 0 {
 			return nil
+		}
+		if cc != nil {
+			if cv := cc.at(v); cv != nil {
+				return condSampleSubset(q, cv, wide, B, v, chains, sc, rng)
+			}
 		}
 		return sampleSubsetCells(q, &verts[v], wide, B, v, chains, buf, sc, rng)
 	}, nil

@@ -105,6 +105,15 @@ func (c *Chain) Reset() error {
 // sequential chain and by the distributed LubyGlauber sampler
 // (internal/psample) in both its harnesses.
 func HeatBath(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float64, rng *rand.Rand) error {
+	if cum, last, ok := eng.CondLookupLattice(l, chain, v); ok {
+		// The conditional-CDF cache covers this neighborhood: the cached
+		// cumulative row replaces the factor walk, and CondDrawCum maps the
+		// same single uniform to the same symbol dist.SampleWeights would
+		// return (uncovered calls — including bad rows — fall through and
+		// keep the uncached path's diagnostics).
+		l.Set(v, chain, gibbs.CondDrawCum(cum, last, rng.Float64()))
+		return nil
+	}
 	w, err := eng.CondWeightsLattice(l, chain, v, cond)
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
@@ -122,6 +131,10 @@ func HeatBath(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float6
 // *rand.Rand interface calls. Identical weights, identical walk: for equal
 // uniforms the two variants update to the same symbol.
 func HeatBathX(eng *gibbs.Compiled, l *state.Lattice, chain, v int, cond []float64, rng *dist.Xoshiro) error {
+	if cum, last, ok := eng.CondLookupLattice(l, chain, v); ok {
+		l.Set(v, chain, gibbs.CondDrawCum(cum, last, rng.Float64()))
+		return nil
+	}
 	w, err := eng.CondWeightsLattice(l, chain, v, cond)
 	if err != nil {
 		return fmt.Errorf("glauber: conditional at %d: %w", v, err)
